@@ -1,0 +1,246 @@
+package pestrie
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§2 Figure 1; §7 Tables 7 and 8, Figure 7; Table 2
+// characterization), plus the ablation benches DESIGN.md calls out and
+// micro-benchmarks of the individual query paths. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The bench bodies reuse the exact harness code behind cmd/benchtables, so
+// numbers here and in EXPERIMENTS.md come from the same code paths. A
+// reduced scale and preset subset keep -bench=. under a minute; use
+// cmd/benchtables for the full 12-program runs.
+
+import (
+	"bytes"
+	"testing"
+
+	"pestrie/internal/core"
+	"pestrie/internal/exper"
+	"pestrie/internal/matrix"
+	"pestrie/internal/synth"
+)
+
+// benchOpts is the standing configuration for the table benchmarks.
+func benchOpts() *exper.Options {
+	return &exper.Options{
+		Scale:   0.005,
+		Presets: []string{"samba", "antlr", "chart", "fop"},
+	}
+}
+
+func BenchmarkTable2Characterize(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows := exper.Table2(opts)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFigure1Characteristics(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows := exper.Figure1(opts)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable7Queries(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows := exper.Table7(opts)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable8Persistence(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows := exper.Table8(opts)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFigure7Heuristic(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows := exper.Figure7(opts)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// --- ablation benches (DESIGN.md) ---------------------------------------
+
+func ablationMatrix() *matrix.PointsTo {
+	return synth.PresetByName("chart").Generate(0.005)
+}
+
+func BenchmarkAblationHubMetric(b *testing.B) {
+	pm := ablationMatrix()
+	naiveDeg := make([]float64, pm.NumObjects)
+	for o, c := range pm.PointedByCounts() {
+		naiveDeg[o] = float64(c)
+	}
+	b.Run("hits-degree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Build(pm, nil)
+		}
+	})
+	b.Run("pointed-by-count", func(b *testing.B) {
+		order := matrix.OrderByDegree(naiveDeg)
+		for i := 0; i < b.N; i++ {
+			core.Build(pm, &core.Options{Order: order})
+		}
+	})
+}
+
+func BenchmarkAblationPruning(b *testing.B) {
+	pm := ablationMatrix()
+	b.Run("pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Build(pm, nil)
+		}
+	})
+	b.Run("unpruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Build(pm, &core.Options{DisablePruning: true})
+		}
+	})
+}
+
+func BenchmarkAblationFileLayout(b *testing.B) {
+	// The Fig. 5 shape split is a pure encoding choice; measure its write
+	// cost and report the size delta through the ablation harness.
+	rows := exper.Ablations(&exper.Options{Scale: 0.005, Presets: []string{"chart"}})
+	if len(rows) != 1 || rows[0].FileUniform < rows[0].FileShapeSplit {
+		b.Fatal("shape split regressed")
+	}
+	trie := core.Build(ablationMatrix(), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := trie.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationObjectMerge(b *testing.B) {
+	pm := ablationMatrix()
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Build(pm, nil)
+		}
+	})
+	b.Run("merged", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Build(pm, &core.Options{MergeEquivalentObjects: true})
+		}
+	})
+}
+
+// --- micro-benchmarks of the individual operations ----------------------
+
+func microWorkload() (*Index, *BitmapEncoding, *DemandOracle, []int) {
+	pm := synth.PresetByName("chart").Generate(0.005)
+	base := BasePointers(pm, pm.NumPointers/500)
+	return Build(pm, nil).Index(), EncodeBitmap(pm), NewDemandOracle(pm), base
+}
+
+func BenchmarkIsAliasPestrie(b *testing.B) {
+	idx, _, _, base := microWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := base[i%len(base)]
+		q := base[(i*7+1)%len(base)]
+		idx.IsAlias(p, q)
+	}
+}
+
+func BenchmarkIsAliasBitmap(b *testing.B) {
+	_, bit, _, base := microWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := base[i%len(base)]
+		q := base[(i*7+1)%len(base)]
+		bit.IsAlias(p, q)
+	}
+}
+
+func BenchmarkIsAliasDemand(b *testing.B) {
+	_, _, dem, base := microWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := base[i%len(base)]
+		q := base[(i*7+1)%len(base)]
+		dem.IsAlias(p, q)
+	}
+}
+
+func BenchmarkListAliasesPestrie(b *testing.B) {
+	idx, _, _, base := microWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.ListAliases(base[i%len(base)])
+	}
+}
+
+func BenchmarkListAliasesDemand(b *testing.B) {
+	_, _, dem, base := microWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dem.ListAliases(base[i%len(base)])
+	}
+}
+
+func BenchmarkListPointsToPestrie(b *testing.B) {
+	idx, _, _, base := microWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.ListPointsTo(base[i%len(base)])
+	}
+}
+
+func BenchmarkListPointedByPestrie(b *testing.B) {
+	pm := synth.PresetByName("chart").Generate(0.005)
+	idx := Build(pm, nil).Index()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.ListPointedBy(i % pm.NumObjects)
+	}
+}
+
+func BenchmarkBuildPestrie(b *testing.B) {
+	pm := ablationMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(pm, nil)
+	}
+}
+
+func BenchmarkLoadPestrie(b *testing.B) {
+	trie := Build(ablationMatrix(), nil)
+	var buf bytes.Buffer
+	if _, err := trie.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Command benchtables regenerates the paper's evaluation tables and
+// figures over the scaled benchmark presets (see DESIGN.md for the
+// per-experiment index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	benchtables -table all
+//	benchtables -table 7 -presets antlr,chart -scale 0.01
+//	benchtables -table fig7 -scale 0.005
+//
+// Tables: 2, fig1, 7, 8, fig7, ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"pestrie/internal/exper"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
+	table := fs.String("table", "all", "which experiment: 2 | fig1 | 7 | 8 | fig7 | ablation | all")
+	scale := fs.Float64("scale", 0.01, "benchmark scale vs the paper's sizes")
+	presets := fs.String("presets", "", "comma-separated preset names (default: all 12)")
+	stride := fs.Int("stride", 0, "base-pointer stride (0 = auto ≈1000 base pointers)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := &exper.Options{Scale: *scale, BaseStride: *stride}
+	if *presets != "" {
+		opts.Presets = strings.Split(*presets, ",")
+	}
+
+	experiments := []struct {
+		key, name string
+		fn        func(*exper.Options) string
+	}{
+		{"2", "table 2", func(o *exper.Options) string { return exper.RenderTable2(exper.Table2(o)) }},
+		{"fig1", "figure 1", func(o *exper.Options) string { return exper.RenderFigure1(exper.Figure1(o)) }},
+		{"7", "table 7", func(o *exper.Options) string { return exper.RenderTable7(exper.Table7(o)) }},
+		{"8", "table 8", func(o *exper.Options) string { return exper.RenderTable8(exper.Table8(o)) }},
+		{"fig7", "figure 7", func(o *exper.Options) string { return exper.RenderFigure7(exper.Figure7(o)) }},
+		{"ablation", "ablations", func(o *exper.Options) string { return exper.RenderAblations(exper.Ablations(o)) }},
+	}
+	any := false
+	for _, e := range experiments {
+		if *table != "all" && *table != e.key {
+			continue
+		}
+		any = true
+		start := time.Now()
+		fmt.Fprint(w, e.fn(opts))
+		fmt.Fprintf(w, "[%s regenerated in %s]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !any {
+		return fmt.Errorf("unknown table %q", *table)
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+// Command pestrie encodes points-to matrices into Pestrie persistent files
+// and queries them.
+//
+// Usage:
+//
+//	pestrie encode -in pm.ptm -out pm.pes [-random-order] [-merge-objects]
+//	pestrie info -in pm.pes
+//	pestrie query -in pm.pes -op isalias -p 3 -q 7
+//	pestrie query -in pm.pes -op aliases|pointsto -p 3
+//	pestrie query -in pm.pes -op pointedby -o 5
+//
+// Matrix files (.ptm) are produced by cmd/ptagen.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"pestrie"
+	"pestrie/internal/core"
+	"pestrie/internal/perf"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "encode":
+		err = encode(os.Args[2:])
+	case "info":
+		err = info(os.Args[2:])
+	case "query":
+		err = query(os.Args[2:])
+	case "verify":
+		err = verify(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pestrie:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pestrie <encode|info|query|verify> [flags]")
+	os.Exit(2)
+}
+
+// verify recovers the full points-to matrix from a persistent file and
+// checks it against the original matrix — an end-to-end losslessness check
+// for the encoding pipeline.
+func verify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	pes := fs.String("pes", "", "persistent file (.pes)")
+	ptm := fs.String("ptm", "", "original matrix file (.ptm)")
+	fs.Parse(args)
+	if *pes == "" || *ptm == "" {
+		return fmt.Errorf("verify needs -pes and -ptm")
+	}
+	idx, err := pestrie.LoadFile(*pes)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*ptm)
+	if err != nil {
+		return err
+	}
+	pm, err := pestrie.ReadMatrix(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	var recovered *pestrie.Matrix
+	dur := perf.Time(func() { recovered = idx.RecoverMatrix() })
+	if !recovered.Equal(pm) {
+		return fmt.Errorf("MISMATCH: %s does not losslessly encode %s", *pes, *ptm)
+	}
+	fmt.Printf("OK: %s losslessly encodes %s (%d facts, recovered in %s)\n",
+		*pes, *ptm, pm.Edges(), dur)
+	return nil
+}
+
+func encode(args []string) error {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	in := fs.String("in", "", "input matrix file (.ptm)")
+	facts := fs.String("facts", "", "input text facts file (pointer object per line) instead of -in")
+	out := fs.String("out", "", "output persistent file (.pes)")
+	randomOrder := fs.Bool("random-order", false, "use a random object order instead of the hub-degree heuristic")
+	seed := fs.Int64("seed", 1, "seed for -random-order")
+	mergeObjects := fs.Bool("merge-objects", false, "merge equivalent objects into shared origins")
+	noPrune := fs.Bool("no-prune", false, "disable Theorem-2 rectangle pruning")
+	fs.Parse(args)
+	if (*in == "") == (*facts == "") || *out == "" {
+		return fmt.Errorf("encode needs exactly one of -in/-facts, plus -out")
+	}
+	var pm *pestrie.Matrix
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		pm, err = pestrie.ReadMatrix(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		f, err := os.Open(*facts)
+		if err != nil {
+			return err
+		}
+		fa, err := pestrie.ReadFactsText(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		pm = fa.PM
+	}
+	opts := &core.Options{MergeEquivalentObjects: *mergeObjects, DisablePruning: *noPrune}
+	if *randomOrder {
+		opts.Order = rand.New(rand.NewSource(*seed)).Perm(pm.NumObjects)
+	}
+	var trie *pestrie.Trie
+	dur := perf.Time(func() { trie = pestrie.Build(pm, opts) })
+	if err := pestrie.WriteFile(trie, *out); err != nil {
+		return err
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	s := trie.Stats()
+	fmt.Printf("encoded %d pointers × %d objects in %s\n", pm.NumPointers, pm.NumObjects, dur)
+	fmt.Printf("groups=%d tree-edges=%d cross-edges=%d rectangles=%d (pruned %d)\n",
+		s.Groups, s.TreeEdges, s.CrossEdges, s.Rectangles, s.Pruned)
+	fmt.Printf("file: %s (%s)\n", *out, perf.Bytes(st.Size()))
+	return nil
+}
+
+func info(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "persistent file (.pes)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("info needs -in")
+	}
+	var idx *pestrie.Index
+	var err error
+	dur := perf.Time(func() { idx, err = pestrie.LoadFile(*in) })
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pointers=%d objects=%d groups=%d rectangles=%d\n",
+		idx.NumPointers, idx.NumObjects, idx.NumGroups, idx.Rectangles())
+	fmt.Printf("decode time: %s, query structure: %s\n", dur, perf.Bytes(idx.MemoryFootprint()))
+	return nil
+}
+
+func query(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	in := fs.String("in", "", "persistent file (.pes)")
+	op := fs.String("op", "isalias", "isalias | aliases | pointsto | pointedby")
+	p := fs.Int("p", -1, "pointer ID")
+	q := fs.Int("q", -1, "second pointer ID (isalias)")
+	o := fs.Int("o", -1, "object ID (pointedby)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("query needs -in")
+	}
+	idx, err := pestrie.LoadFile(*in)
+	if err != nil {
+		return err
+	}
+	printList := func(xs []int) {
+		sort.Ints(xs)
+		fmt.Println(len(xs), "results:", xs)
+	}
+	switch *op {
+	case "isalias":
+		if *p < 0 || *q < 0 {
+			return fmt.Errorf("isalias needs -p and -q")
+		}
+		fmt.Println(idx.IsAlias(*p, *q))
+	case "aliases":
+		if *p < 0 {
+			return fmt.Errorf("aliases needs -p")
+		}
+		printList(idx.ListAliases(*p))
+	case "pointsto":
+		if *p < 0 {
+			return fmt.Errorf("pointsto needs -p")
+		}
+		printList(idx.ListPointsTo(*p))
+	case "pointedby":
+		if *o < 0 {
+			return fmt.Errorf("pointedby needs -o")
+		}
+		printList(idx.ListPointedBy(*o))
+	default:
+		return fmt.Errorf("unknown op %q", *op)
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pestrie"
+)
+
+func writeTestMatrix(t *testing.T, dir string) string {
+	t.Helper()
+	pm := pestrie.NewMatrix(6, 3)
+	for _, f := range [][2]int{{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}} {
+		pm.Add(f[0], f[1])
+	}
+	path := filepath.Join(dir, "m.ptm")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestEncodeInfoQuery(t *testing.T) {
+	dir := t.TempDir()
+	ptm := writeTestMatrix(t, dir)
+	pes := filepath.Join(dir, "m.pes")
+
+	if err := encode([]string{"-in", ptm, "-out", pes}); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if _, err := os.Stat(pes); err != nil {
+		t.Fatalf("no output file: %v", err)
+	}
+	if err := info([]string{"-in", pes}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	for _, args := range [][]string{
+		{"-in", pes, "-op", "isalias", "-p", "0", "-q", "1"},
+		{"-in", pes, "-op", "aliases", "-p", "0"},
+		{"-in", pes, "-op", "pointsto", "-p", "2"},
+		{"-in", pes, "-op", "pointedby", "-o", "1"},
+	} {
+		if err := query(args); err != nil {
+			t.Fatalf("query %v: %v", args, err)
+		}
+	}
+}
+
+func TestEncodeFromFacts(t *testing.T) {
+	dir := t.TempDir()
+	facts := filepath.Join(dir, "f.txt")
+	if err := os.WriteFile(facts, []byte("a O1\nb O1\nc O2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pes := filepath.Join(dir, "f.pes")
+	if err := encode([]string{"-facts", facts, "-out", pes}); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := pestrie.LoadFile(pes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.IsAlias(0, 1) || idx.IsAlias(0, 2) {
+		t.Fatal("facts-encoded index wrong")
+	}
+	// Exactly one of -in/-facts.
+	ptm := writeTestMatrix(t, dir)
+	if err := encode([]string{"-in", ptm, "-facts", facts, "-out", pes}); err == nil {
+		t.Fatal("accepted both -in and -facts")
+	}
+	if err := encode([]string{"-facts", filepath.Join(dir, "nope"), "-out", pes}); err == nil {
+		t.Fatal("accepted missing facts file")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	dir := t.TempDir()
+	ptm := writeTestMatrix(t, dir)
+	pes := filepath.Join(dir, "m.pes")
+	if err := encode([]string{"-in", ptm, "-out", pes}); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify([]string{"-pes", pes, "-ptm", ptm}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// A mismatched matrix must fail verification.
+	other := filepath.Join(dir, "other.ptm")
+	pm := pestrie.NewMatrix(6, 3)
+	pm.Add(0, 2)
+	f, err := os.Create(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := verify([]string{"-pes", pes, "-ptm", other}); err == nil {
+		t.Fatal("verify accepted mismatched matrix")
+	}
+	if err := verify(nil); err == nil {
+		t.Fatal("verify without flags succeeded")
+	}
+	if err := verify([]string{"-pes", pes, "-ptm", filepath.Join(dir, "nope")}); err == nil {
+		t.Fatal("verify with missing matrix succeeded")
+	}
+}
+
+func TestEncodeVariants(t *testing.T) {
+	dir := t.TempDir()
+	ptm := writeTestMatrix(t, dir)
+	for _, extra := range [][]string{
+		{"-random-order"},
+		{"-merge-objects"},
+		{"-no-prune"},
+		{"-random-order", "-seed", "9", "-no-prune"},
+	} {
+		out := filepath.Join(dir, "v.pes")
+		args := append([]string{"-in", ptm, "-out", out}, extra...)
+		if err := encode(args); err != nil {
+			t.Fatalf("encode %v: %v", extra, err)
+		}
+		idx, err := pestrie.LoadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !idx.IsAlias(0, 1) || idx.IsAlias(0, 2) {
+			t.Fatalf("variant %v produced wrong answers", extra)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	ptm := writeTestMatrix(t, dir)
+	cases := []struct {
+		name string
+		fn   func([]string) error
+		args []string
+	}{
+		{"encode-missing-flags", encode, nil},
+		{"encode-missing-input", encode, []string{"-in", filepath.Join(dir, "nope"), "-out", filepath.Join(dir, "x")}},
+		{"encode-bad-matrix", encode, []string{"-in", ptm + "x", "-out", filepath.Join(dir, "x")}},
+		{"info-missing-flags", info, nil},
+		{"info-missing-file", info, []string{"-in", filepath.Join(dir, "nope")}},
+		{"query-missing-flags", query, nil},
+		{"query-bad-op", query, []string{"-in", ptm, "-op", "nope"}},
+	}
+	for _, c := range cases {
+		if err := c.fn(c.args); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	// Query flag validation (needs a real .pes so Load succeeds first).
+	pes := filepath.Join(dir, "q.pes")
+	if err := encode([]string{"-in", ptm, "-out", pes}); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-in", pes, "-op", "isalias", "-p", "0"},
+		{"-in", pes, "-op", "aliases"},
+		{"-in", pes, "-op", "pointsto"},
+		{"-in", pes, "-op", "pointedby"},
+	} {
+		if err := query(args); err == nil {
+			t.Errorf("query %v: expected error", args)
+		}
+	}
+}

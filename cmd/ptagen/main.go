@@ -1,0 +1,224 @@
+// Command ptagen produces points-to matrices (.ptm): either synthetically
+// from the paper's Table 2 benchmark presets, or by running the
+// Andersen-style analysis on a pointer-IR program.
+//
+// Usage:
+//
+//	ptagen preset -name fop -scale 0.01 -out fop.ptm
+//	ptagen analyze -ir prog.ir -clone 1 -out prog.ptm [-names prog.names]
+//	ptagen random -funcs 20 -vars 8 -stmts 30 -seed 7 -out prog.ir
+//	ptagen list
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"pestrie"
+	"pestrie/internal/ir"
+	"pestrie/internal/perf"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "preset":
+		err = preset(os.Args[2:])
+	case "analyze":
+		err = analyze(os.Args[2:])
+	case "random":
+		err = random(os.Args[2:])
+	case "import":
+		err = importFacts(os.Args[2:])
+	case "list":
+		err = list()
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptagen:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ptagen <preset|analyze|random|import|list> [flags]")
+	os.Exit(2)
+}
+
+// importFacts converts a textual points-to dump ("pointer object" per
+// line, as exported by external analyses) into a matrix file, optionally
+// recording the name↔ID tables.
+func importFacts(args []string) error {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	in := fs.String("in", "", "input facts file (pointer object per line)")
+	out := fs.String("out", "", "output matrix file (.ptm)")
+	names := fs.String("names", "", "optional output file mapping IDs to names")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("import needs -in and -out")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	facts, err := pestrie.ReadFactsText(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if *names != "" {
+		nf, err := os.Create(*names)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(nf)
+		for i, n := range facts.PointerNames {
+			fmt.Fprintf(w, "P %d %s\n", i, n)
+		}
+		for i, n := range facts.ObjectNames {
+			fmt.Fprintf(w, "O %d %s\n", i, n)
+		}
+		if err := w.Flush(); err != nil {
+			nf.Close()
+			return err
+		}
+		if err := nf.Close(); err != nil {
+			return err
+		}
+	}
+	return writeMatrix(facts.PM, *out)
+}
+
+func writeMatrix(pm *pestrie.Matrix, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := pm.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d pointers × %d objects, %d facts (%s)\n",
+		path, pm.NumPointers, pm.NumObjects, pm.Edges(), perf.Bytes(st.Size()))
+	return nil
+}
+
+func preset(args []string) error {
+	fs := flag.NewFlagSet("preset", flag.ExitOnError)
+	name := fs.String("name", "", "preset name (see: ptagen list)")
+	scale := fs.Float64("scale", 0.01, "scale factor vs the paper's sizes")
+	out := fs.String("out", "", "output matrix file (.ptm)")
+	fs.Parse(args)
+	if *name == "" || *out == "" {
+		return fmt.Errorf("preset needs -name and -out")
+	}
+	b := pestrie.BenchmarkByName(*name)
+	if b == nil {
+		return fmt.Errorf("unknown preset %q (try: ptagen list)", *name)
+	}
+	return writeMatrix(b.Generate(*scale), *out)
+}
+
+func analyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	irPath := fs.String("ir", "", "pointer-IR source file")
+	clone := fs.Int("clone", 0, "k-callsite cloning depth (0 = context-insensitive)")
+	out := fs.String("out", "", "output matrix file (.ptm)")
+	names := fs.String("names", "", "optional output file mapping IDs to IR names")
+	fs.Parse(args)
+	if *irPath == "" || *out == "" {
+		return fmt.Errorf("analyze needs -ir and -out")
+	}
+	f, err := os.Open(*irPath)
+	if err != nil {
+		return err
+	}
+	prog, err := pestrie.ParseProgram(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	var res *pestrie.AnalysisResult
+	dur := perf.Time(func() { res, err = pestrie.Analyze(prog, *clone) })
+	if err != nil {
+		return err
+	}
+	fmt.Printf("analyzed %d statements in %s\n", prog.NumStmts(), dur)
+	if *names != "" {
+		if err := writeNames(res, *names); err != nil {
+			return err
+		}
+	}
+	return writeMatrix(res.PM, *out)
+}
+
+// writeNames dumps "P <id> <name>" and "O <id> <name>" lines — the
+// variable-correlation table of §6.2 that keeps IDs stable across analysis
+// cycles.
+func writeNames(res *pestrie.AnalysisResult, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for i, n := range res.PointerNames {
+		fmt.Fprintf(w, "P %d %s\n", i, n)
+	}
+	for i, n := range res.ObjectNames {
+		fmt.Fprintf(w, "O %d %s\n", i, n)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func random(args []string) error {
+	fs := flag.NewFlagSet("random", flag.ExitOnError)
+	funcs := fs.Int("funcs", 10, "number of functions")
+	vars := fs.Int("vars", 6, "variables per function")
+	stmts := fs.Int("stmts", 20, "statements per function")
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("out", "", "output IR file")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("random needs -out")
+	}
+	prog := ir.Generate(ir.GenOptions{Funcs: *funcs, VarsPerFunc: *vars, StmtsPerFunc: *stmts, Seed: *seed})
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := prog.Print(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d functions, %d statements\n", *out, len(prog.Funcs), prog.NumStmts())
+	return nil
+}
+
+func list() error {
+	fmt.Printf("%-12s %-5s %-24s %10s %9s\n", "name", "lang", "analysis", "#pointers", "#objects")
+	for _, b := range pestrie.Benchmarks() {
+		fmt.Printf("%-12s %-5s %-24s %10d %9d\n",
+			b.Name, b.Language, b.Analysis.String(), b.Pointers, b.Objects)
+	}
+	return nil
+}

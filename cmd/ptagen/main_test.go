@@ -1,0 +1,144 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pestrie"
+)
+
+func TestPresetGeneratesMatrix(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "antlr.ptm")
+	if err := preset([]string{"-name", "antlr", "-scale", "0.002", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pm, err := pestrie.ReadMatrix(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.NumPointers == 0 || pm.Edges() == 0 {
+		t.Fatal("degenerate matrix")
+	}
+}
+
+func TestRandomThenAnalyze(t *testing.T) {
+	dir := t.TempDir()
+	irPath := filepath.Join(dir, "prog.ir")
+	if err := random([]string{"-funcs", "4", "-vars", "4", "-stmts", "8", "-seed", "3", "-out", irPath}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(irPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "func main()") {
+		t.Fatalf("generated IR lacks main:\n%s", src)
+	}
+	ptm := filepath.Join(dir, "prog.ptm")
+	names := filepath.Join(dir, "prog.names")
+	if err := analyze([]string{"-ir", irPath, "-clone", "1", "-out", ptm, "-names", names}); err != nil {
+		t.Fatal(err)
+	}
+	nameData, err := os.ReadFile(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(nameData), "P 0 ") || !strings.Contains(string(nameData), "O 0 ") {
+		t.Fatalf("names file malformed:\n%.200s", nameData)
+	}
+	f, err := os.Open(ptm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := pestrie.ReadMatrix(f); err != nil {
+		t.Fatalf("analyze output unreadable: %v", err)
+	}
+}
+
+func TestImportFacts(t *testing.T) {
+	dir := t.TempDir()
+	facts := filepath.Join(dir, "f.txt")
+	if err := os.WriteFile(facts, []byte("# dump\nmain.x HeapA\nmain.y HeapA\nmain.z HeapB\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ptm := filepath.Join(dir, "f.ptm")
+	names := filepath.Join(dir, "f.names")
+	if err := importFacts([]string{"-in", facts, "-out", ptm, "-names", names}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(ptm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pm, err := pestrie.ReadMatrix(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.NumPointers != 3 || pm.NumObjects != 2 || pm.Edges() != 3 {
+		t.Fatalf("imported dims wrong: %d×%d, %d facts", pm.NumPointers, pm.NumObjects, pm.Edges())
+	}
+	nameData, err := os.ReadFile(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(nameData), "P 0 main.x") || !strings.Contains(string(nameData), "O 1 HeapB") {
+		t.Fatalf("names:\n%s", nameData)
+	}
+	// Errors.
+	if err := importFacts(nil); err == nil {
+		t.Error("import without flags succeeded")
+	}
+	if err := importFacts([]string{"-in", filepath.Join(dir, "nope"), "-out", ptm}); err == nil {
+		t.Error("import of missing file succeeded")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("only-one-token\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := importFacts([]string{"-in", bad, "-out", ptm}); err == nil {
+		t.Error("import of malformed facts succeeded")
+	}
+}
+
+func TestList(t *testing.T) {
+	if err := list(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommandErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		fn   func([]string) error
+		args []string
+	}{
+		{"preset-missing-flags", preset, nil},
+		{"preset-unknown", preset, []string{"-name", "nope", "-out", filepath.Join(dir, "x")}},
+		{"analyze-missing-flags", analyze, nil},
+		{"analyze-missing-ir", analyze, []string{"-ir", filepath.Join(dir, "nope.ir"), "-out", filepath.Join(dir, "x")}},
+		{"random-missing-out", random, nil},
+	}
+	for _, c := range cases {
+		if err := c.fn(c.args); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	// Malformed IR source.
+	bad := filepath.Join(dir, "bad.ir")
+	if err := os.WriteFile(bad, []byte("not ir at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := analyze([]string{"-ir", bad, "-out", filepath.Join(dir, "x.ptm")}); err == nil {
+		t.Error("analyze accepted malformed IR")
+	}
+}

@@ -1,0 +1,136 @@
+// Fragment demonstrates compositional persistence — the §1/§9 scenario of
+// pre-analyzing a library separately from its clients. A benchmark matrix
+// is split into a library fragment (pointers whose relations are
+// client-independent) and a client fragment; each is persisted on its own,
+// and the composed view answers whole-program queries identically to a
+// monolithic index, so shipping a new client never re-analyzes the library.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"pestrie"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.005, "benchmark scale")
+	flag.Parse()
+
+	// A stand-in whole program: the antlr preset, with the first 40% of
+	// pointers and objects playing the JDK-style "library" whose
+	// relations do not depend on the client.
+	whole := pestrie.BenchmarkByName("antlr").Generate(*scale)
+	libPtrs := whole.NumPointers * 2 / 5
+	libObjs := whole.NumObjects * 2 / 5
+
+	libPM := pestrie.NewMatrix(libPtrs, libObjs)
+	clientPM := pestrie.NewMatrix(whole.NumPointers-libPtrs, whole.NumObjects)
+	for p := 0; p < whole.NumPointers; p++ {
+		row := whole.Row(p)
+		row.ForEach(func(o int) bool {
+			if p < libPtrs {
+				if o < libObjs { // library facts stay inside the library namespace
+					libPM.Add(p, o)
+				}
+				return true
+			}
+			clientPM.Add(p-libPtrs, o)
+			return true
+		})
+	}
+	// Rebuild the reference whole program from the fragments so both
+	// views answer over identical facts.
+	ref := pestrie.NewMatrix(whole.NumPointers, whole.NumObjects)
+	for p := 0; p < libPtrs; p++ {
+		libPM.Row(p).ForEach(func(o int) bool { ref.Add(p, o); return true })
+	}
+	for p := 0; p < clientPM.NumPointers; p++ {
+		clientPM.Row(p).ForEach(func(o int) bool { ref.Add(libPtrs+p, o); return true })
+	}
+
+	// Persist the library once ("per release tag").
+	var libFile bytes.Buffer
+	start := time.Now()
+	if _, err := pestrie.Build(libPM, nil).WriteTo(&libFile); err != nil {
+		log.Fatal(err)
+	}
+	libBuild := time.Since(start)
+
+	// Each client build persists only its own fragment...
+	var clientFile bytes.Buffer
+	start = time.Now()
+	if _, err := pestrie.Build(clientPM, nil).WriteTo(&clientFile); err != nil {
+		log.Fatal(err)
+	}
+	clientBuild := time.Since(start)
+
+	// ...and links against the library file.
+	libIdx, err := pestrie.Load(bytes.NewReader(libFile.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	clientIdx, err := pestrie.Load(bytes.NewReader(clientFile.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	combined, err := pestrie.Compose(libIdx, clientIdx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The monolithic alternative re-encodes everything per client build.
+	start = time.Now()
+	var wholeFile bytes.Buffer
+	if _, err := pestrie.Build(ref, nil).WriteTo(&wholeFile); err != nil {
+		log.Fatal(err)
+	}
+	wholeBuild := time.Since(start)
+	mono, err := pestrie.Load(bytes.NewReader(wholeFile.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("library fragment:  %5d pointers, persisted %6d bytes in %s (once per release)\n",
+		libPM.NumPointers, libFile.Len(), libBuild)
+	fmt.Printf("client fragment:   %5d pointers, persisted %6d bytes in %s (per client build)\n",
+		clientPM.NumPointers, clientFile.Len(), clientBuild)
+	fmt.Printf("monolithic build:  %5d pointers, persisted %6d bytes in %s (what we avoid)\n",
+		ref.NumPointers, wholeFile.Len(), wholeBuild)
+
+	// Cross-check the composed view against the monolithic index on a
+	// sample of cross-boundary queries.
+	checked, disagreements := 0, 0
+	for p := 0; p < ref.NumPointers; p += 7 {
+		for q := libPtrs; q < ref.NumPointers; q += 13 {
+			if combined.IsAlias(p, q) != mono.IsAlias(p, q) {
+				disagreements++
+			}
+			checked++
+		}
+	}
+	fmt.Printf("\ncross-boundary IsAlias agreement with the monolithic index: %d/%d\n",
+		checked-disagreements, checked)
+	if disagreements > 0 {
+		log.Fatal("composition is unsound")
+	}
+
+	// One concrete cross-boundary answer.
+	for p := libPtrs; p < ref.NumPointers; p++ {
+		aliases := combined.ListAliases(p)
+		crossCount := 0
+		for _, a := range aliases {
+			if a < libPtrs {
+				crossCount++
+			}
+		}
+		if crossCount > 0 {
+			fmt.Printf("client pointer %d aliases %d pointers, %d of them inside the library\n",
+				p-libPtrs, len(aliases), crossCount)
+			break
+		}
+	}
+}

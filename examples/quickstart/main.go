@@ -1,0 +1,83 @@
+// Quickstart: build a points-to matrix, persist it as a Pestrie file,
+// load it back, and run all four Table-1 queries.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"pestrie"
+)
+
+func main() {
+	// The running example of the paper (Table 3): pointers p1..p7 and
+	// objects o1..o5, zero-based here.
+	pm := pestrie.NewMatrix(7, 5)
+	facts := [][2]int{
+		{0, 0}, {0, 4},
+		{1, 0},
+		{2, 0}, {2, 1}, {2, 2}, {2, 4},
+		{3, 0}, {3, 1}, {3, 2}, {3, 3},
+		{4, 3},
+		{5, 1},
+		{6, 2}, {6, 4},
+	}
+	for _, f := range facts {
+		pm.Add(f[0], f[1])
+	}
+
+	// Build and persist.
+	trie := pestrie.Build(pm, nil)
+	dir, err := os.MkdirTemp("", "pestrie-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "paper.pes")
+	if err := pestrie.WriteFile(trie, path); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := os.Stat(path)
+	s := trie.Stats()
+	fmt.Printf("persisted %d facts as %d rectangles in %d bytes (%s)\n",
+		pm.Edges(), s.Rectangles, st.Size(), path)
+
+	// Load in a "fresh analysis cycle" and query.
+	idx, err := pestrie.LoadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	name := func(p int) string { return fmt.Sprintf("p%d", p+1) }
+	oname := func(o int) string { return fmt.Sprintf("o%d", o+1) }
+
+	fmt.Printf("\nIsAlias(p1, p3) = %v  (both point to o1)\n", idx.IsAlias(0, 2))
+	fmt.Printf("IsAlias(p4, p7) = %v  (both point to o3)\n", idx.IsAlias(3, 6))
+	fmt.Printf("IsAlias(p2, p5) = %v  (disjoint points-to sets)\n", idx.IsAlias(1, 4))
+
+	pts := idx.ListPointsTo(2)
+	sort.Ints(pts)
+	fmt.Printf("\nListPointsTo(p3) = %s\n", names(pts, oname))
+
+	by := idx.ListPointedBy(0)
+	sort.Ints(by)
+	fmt.Printf("ListPointedBy(o1) = %s\n", names(by, name))
+
+	al := idx.ListAliases(0)
+	sort.Ints(al)
+	fmt.Printf("ListAliases(p1) = %s\n", names(al, name))
+}
+
+func names(ids []int, f func(int) string) string {
+	out := ""
+	for i, id := range ids {
+		if i > 0 {
+			out += ", "
+		}
+		out += f(id)
+	}
+	return "[" + out + "]"
+}

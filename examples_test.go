@@ -1,0 +1,47 @@
+package pestrie_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example binary, guarding the
+// documented entry points against rot. Each example must exit 0 quickly at
+// a small scale.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs all example binaries")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := map[string][]string{
+		"racedetect": {"-preset", "antlr", "-scale", "0.002"},
+		"fragment":   {"-scale", "0.002"},
+		"pipeline":   {"-funcs", "8"},
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command("go", append([]string{"run", "./" + filepath.Join("examples", name)}, args[name]...)...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+		ran++
+	}
+	if ran < 6 {
+		t.Fatalf("only %d examples found, want ≥6", ran)
+	}
+}

@@ -1,0 +1,3 @@
+module pestrie
+
+go 1.22

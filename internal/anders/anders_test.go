@@ -1,0 +1,359 @@
+package anders
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pestrie/internal/ir"
+)
+
+func parse(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := ir.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// pointsTo asserts the exact points-to set of a pointer by object names.
+func pointsTo(t *testing.T, res *Result, ptr string, objs ...string) {
+	t.Helper()
+	p := res.PointerID(ptr)
+	if p < 0 {
+		t.Fatalf("unknown pointer %q", ptr)
+	}
+	got := map[string]bool{}
+	res.PM.Row(p).ForEach(func(o int) bool {
+		got[res.ObjectNames[o]] = true
+		return true
+	})
+	if len(got) != len(objs) {
+		t.Fatalf("pts(%s) = %v, want %v", ptr, got, objs)
+	}
+	for _, o := range objs {
+		if !got[o] {
+			t.Fatalf("pts(%s) = %v, missing %v", ptr, got, o)
+		}
+	}
+}
+
+func TestAllocAndCopy(t *testing.T) {
+	res, err := Analyze(parse(t, `
+func main() {
+  a = alloc A
+  b = a
+  c = b
+  d = alloc D
+}
+`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pointsTo(t, res, "main.a", "A")
+	pointsTo(t, res, "main.b", "A")
+	pointsTo(t, res, "main.c", "A")
+	pointsTo(t, res, "main.d", "D")
+}
+
+func TestLoadStore(t *testing.T) {
+	res, err := Analyze(parse(t, `
+func main() {
+  p = alloc P
+  q = alloc Q
+  *p = q
+  r = *p
+}
+`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r = *p where *p holds q's target.
+	pointsTo(t, res, "main.r", "Q")
+	// The heap cell of P holds Q.
+	pointsTo(t, res, "@heap.P", "Q")
+}
+
+func TestStoreThenLoadThroughAlias(t *testing.T) {
+	res, err := Analyze(parse(t, `
+func main() {
+  p = alloc P
+  q = p
+  x = alloc X
+  *p = x
+  y = *q
+}
+`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pointsTo(t, res, "main.y", "X")
+}
+
+func TestCallParamReturn(t *testing.T) {
+	res, err := Analyze(parse(t, `
+func id(x) {
+  return x
+}
+func main() {
+  a = alloc A
+  b = call id(a)
+  c = alloc C
+  d = call id(c)
+}
+`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Context-insensitive: both callers' objects merge in x.
+	pointsTo(t, res, "id.x", "A", "C")
+	pointsTo(t, res, "main.b", "A", "C")
+	pointsTo(t, res, "main.d", "A", "C")
+}
+
+func TestCloneDepthRestoresPrecision(t *testing.T) {
+	prog := parse(t, `
+func id(x) {
+  return x
+}
+func main() {
+  a = alloc A
+  b = call id(a)
+  c = alloc C
+  d = call id(c)
+}
+`)
+	res, err := Analyze(prog, &Options{CloneDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 1-callsite cloning the two calls use distinct clones, so b and
+	// d regain precise results.
+	pointsTo(t, res, "main.b", "A")
+	pointsTo(t, res, "main.d", "C")
+}
+
+func TestHeapCloningSeparatesSites(t *testing.T) {
+	prog := parse(t, `
+func mk() {
+  o = alloc Cell
+  return o
+}
+func main() {
+  x = call mk()
+  y = call mk()
+}
+`)
+	insens, err := Analyze(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Context-insensitive: one abstract Cell, x and y alias.
+	px, py := insens.PointerID("main.x"), insens.PointerID("main.y")
+	if !insens.PM.Row(px).Intersects(insens.PM.Row(py)) {
+		t.Fatal("insensitive analysis should alias x and y")
+	}
+	sens, err := Analyze(prog, &Options{CloneDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	px, py = sens.PointerID("main.x"), sens.PointerID("main.y")
+	if px < 0 || py < 0 {
+		t.Fatal("pointers missing after cloning")
+	}
+	if sens.PM.Row(px).Intersects(sens.PM.Row(py)) {
+		t.Fatal("heap cloning failed: x and y still alias")
+	}
+	if sens.PM.NumObjects <= insens.PM.NumObjects {
+		t.Fatal("cloning did not create per-context objects")
+	}
+}
+
+func TestRecursionTerminates(t *testing.T) {
+	prog := parse(t, `
+func rec(x) {
+  y = call rec(x)
+  o = alloc O
+  return o
+}
+func main() {
+  a = alloc A
+  r = call rec(a)
+}
+`)
+	for _, depth := range []int{0, 1, 3} {
+		res, err := Analyze(prog, &Options{CloneDepth: depth})
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if res.PointerID("main.r") < 0 {
+			t.Fatalf("depth %d: main.r missing", depth)
+		}
+	}
+}
+
+func TestMutualRecursionTerminates(t *testing.T) {
+	prog := parse(t, `
+func even(x) {
+  r = call odd(x)
+  return r
+}
+func odd(x) {
+  r = call even(x)
+  return r
+  return x
+}
+func main() {
+  a = alloc A
+  e = call even(a)
+}
+`)
+	res, err := Analyze(prog, &Options{CloneDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pointsTo(t, res, "main.e", "A")
+}
+
+func TestAnalyzeRejectsInvalid(t *testing.T) {
+	bad := &ir.Program{Funcs: []*ir.Func{{Name: "f", Body: []ir.Stmt{{Kind: ir.Call, Callee: "nope"}}}}}
+	if _, err := Analyze(bad, nil); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+	if _, err := Analyze(&ir.Program{}, &Options{CloneDepth: -1}); err == nil {
+		t.Fatal("negative clone depth accepted")
+	}
+}
+
+func TestObjectAndPointerLookup(t *testing.T) {
+	res, err := Analyze(parse(t, "func main() {\n a = alloc A\n}\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PointerID("main.a") < 0 || res.ObjectID("A") < 0 {
+		t.Fatal("lookup failed")
+	}
+	if res.PointerID("nope") != -1 || res.ObjectID("nope") != -1 {
+		t.Fatal("missing names should resolve to -1")
+	}
+}
+
+// TestQuickSoundnessAgainstNaive checks the worklist solver against a naive
+// fixpoint evaluator on random programs.
+func TestQuickSoundnessAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := ir.Generate(ir.GenOptions{Funcs: 4, VarsPerFunc: 4, StmtsPerFunc: 10, Seed: seed})
+		res, err := Analyze(prog, nil)
+		if err != nil {
+			return false
+		}
+		naive := naiveSolve(prog)
+		// Same facts both ways.
+		for ptr, objs := range naive {
+			p := res.PointerID(ptr)
+			if p < 0 {
+				return false
+			}
+			for obj := range objs {
+				if !res.PM.Has(p, res.ObjectID(obj)) {
+					return false
+				}
+			}
+		}
+		for p := 0; p < res.PM.NumPointers; p++ {
+			name := res.PointerNames[p]
+			ok := true
+			res.PM.Row(p).ForEach(func(o int) bool {
+				if !naive[name][res.ObjectNames[o]] {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// naiveSolve is an O(n⁴)-ish reference: repeatedly apply all constraint
+// rules until nothing changes.
+func naiveSolve(prog *ir.Program) map[string]map[string]bool {
+	pts := map[string]map[string]bool{}
+	add := func(v, o string) bool {
+		if pts[v] == nil {
+			pts[v] = map[string]bool{}
+		}
+		if pts[v][o] {
+			return false
+		}
+		pts[v][o] = true
+		return true
+	}
+	heap := func(o string) string { return "@heap." + o }
+	for changed := true; changed; {
+		changed = false
+		for _, f := range prog.Funcs {
+			f := f
+			v := func(name string) string { return f.Name + "." + name }
+			ir.Walk(f.Body, func(stp *ir.Stmt) {
+				st := *stp
+				switch st.Kind {
+				case ir.Alloc:
+					if add(v(st.Dst), st.Site) {
+						changed = true
+					}
+				case ir.Copy:
+					for o := range pts[v(st.Src)] {
+						if add(v(st.Dst), o) {
+							changed = true
+						}
+					}
+				case ir.Load:
+					for o := range pts[v(st.Src)] {
+						for oo := range pts[heap(o)] {
+							if add(v(st.Dst), oo) {
+								changed = true
+							}
+						}
+					}
+				case ir.Store:
+					for o := range pts[v(st.Dst)] {
+						for oo := range pts[v(st.Src)] {
+							if add(heap(o), oo) {
+								changed = true
+							}
+						}
+					}
+				case ir.Call:
+					callee := prog.Func(st.Callee)
+					for i, a := range st.Args {
+						for o := range pts[v(a)] {
+							if add(callee.Name+"."+callee.Params[i], o) {
+								changed = true
+							}
+						}
+					}
+					if st.Dst != "" {
+						ir.Walk(callee.Body, func(cs *ir.Stmt) {
+							if cs.Kind == ir.Return {
+								for o := range pts[callee.Name+"."+cs.Src] {
+									if add(v(st.Dst), o) {
+										changed = true
+									}
+								}
+							}
+						})
+					}
+				}
+			})
+		}
+	}
+	return pts
+}

@@ -1,0 +1,34 @@
+package anders
+
+import (
+	"testing"
+
+	"pestrie/internal/ir"
+)
+
+func benchProgram() *ir.Program {
+	return ir.Generate(ir.GenOptions{Funcs: 20, VarsPerFunc: 6, StmtsPerFunc: 15, Seed: 11})
+}
+
+func BenchmarkAnalyzeInsensitive(b *testing.B) {
+	prog := benchProgram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(prog, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeCloneDepth1(b *testing.B) {
+	// Call-site cloning grows the program multiplicatively per depth
+	// level, so the bench uses depth 1; deeper contexts are exercised by
+	// the unit tests on small programs.
+	prog := benchProgram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(prog, &Options{CloneDepth: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package anders
+
+import (
+	"fmt"
+	"sort"
+
+	"pestrie/internal/matrix"
+)
+
+// §6 canonicalization: constrained points-to facts — flow-sensitive
+// (l, p) → o, context-sensitive (c, p) → (c', o), path-sensitive
+// (p --l1∨l2∨…--> o) — are rewritten onto the plain binary matrix by
+// renaming each (condition, pointer) pair to a fresh pointer and each
+// (condition, object) pair to a fresh object.
+
+// CondFact is a conditioned points-to fact: under PtrCond, Ptr points to
+// Obj under ObjCond. Empty conditions mean "unconstrained". For
+// flow-sensitive facts PtrCond is the program point; for context-sensitive
+// facts it is the (already merged) context of the pointer and ObjCond the
+// context of the object; for path-sensitive facts the caller first splits
+// the path condition into basis predicates (SplitPathCondition) and emits
+// one CondFact per basis predicate.
+type CondFact struct {
+	PtrCond string
+	Ptr     string
+	ObjCond string
+	Obj     string
+}
+
+// Normalized is the flattened form: a binary matrix plus the name tables
+// mapping each (condition, name) pair to its row/column.
+type Normalized struct {
+	PM           *matrix.PointsTo
+	PointerNames []string // "cond:ptr" or "ptr" when unconditioned
+	ObjectNames  []string
+
+	pointerIdx map[string]int
+	objectIdx  map[string]int
+}
+
+// PointerID resolves a conditioned pointer to its matrix row, or -1.
+func (n *Normalized) PointerID(cond, ptr string) int {
+	if i, ok := n.pointerIdx[qualify(cond, ptr)]; ok {
+		return i
+	}
+	return -1
+}
+
+// ObjectID resolves a conditioned object to its matrix column, or -1.
+func (n *Normalized) ObjectID(cond, obj string) int {
+	if i, ok := n.objectIdx[qualify(cond, obj)]; ok {
+		return i
+	}
+	return -1
+}
+
+func qualify(cond, name string) string {
+	if cond == "" {
+		return name
+	}
+	return cond + ":" + name
+}
+
+// Normalize flattens conditioned facts into a binary matrix, assigning
+// dense IDs in deterministic (sorted) order.
+func Normalize(facts []CondFact) *Normalized {
+	ptrSet := map[string]bool{}
+	objSet := map[string]bool{}
+	for _, f := range facts {
+		ptrSet[qualify(f.PtrCond, f.Ptr)] = true
+		objSet[qualify(f.ObjCond, f.Obj)] = true
+	}
+	n := &Normalized{pointerIdx: map[string]int{}, objectIdx: map[string]int{}}
+	for name := range ptrSet {
+		n.PointerNames = append(n.PointerNames, name)
+	}
+	for name := range objSet {
+		n.ObjectNames = append(n.ObjectNames, name)
+	}
+	sort.Strings(n.PointerNames)
+	sort.Strings(n.ObjectNames)
+	for i, name := range n.PointerNames {
+		n.pointerIdx[name] = i
+	}
+	for i, name := range n.ObjectNames {
+		n.objectIdx[name] = i
+	}
+	n.PM = matrix.New(len(n.PointerNames), len(n.ObjectNames))
+	for _, f := range facts {
+		n.PM.Add(n.pointerIdx[qualify(f.PtrCond, f.Ptr)],
+			n.objectIdx[qualify(f.ObjCond, f.Obj)])
+	}
+	return n
+}
+
+// MergeContexts rewrites context conditions with a representative-context
+// function, implementing the 1-callsite merging of §6 ("we merge all
+// contexts c1, …, ck that are introduced by the same callsite into a single
+// representative context C"). rep maps a full context to its
+// representative; nil selects TopCallsite.
+func MergeContexts(facts []CondFact, rep func(string) string) []CondFact {
+	if rep == nil {
+		rep = TopCallsite
+	}
+	out := make([]CondFact, len(facts))
+	for i, f := range facts {
+		out[i] = CondFact{
+			PtrCond: rep(f.PtrCond),
+			Ptr:     f.Ptr,
+			ObjCond: rep(f.ObjCond),
+			Obj:     f.Obj,
+		}
+	}
+	return out
+}
+
+// TopCallsite keeps only the most recent callsite of a "/"-separated
+// context chain, the 1-callsite representative used for geomPTA results.
+func TopCallsite(ctx string) string {
+	if ctx == "" {
+		return ""
+	}
+	for i := len(ctx) - 1; i >= 0; i-- {
+		if ctx[i] == '/' {
+			return ctx[i+1:]
+		}
+	}
+	return ctx
+}
+
+// SplitPathCondition decomposes a path condition expressed as a disjunction
+// "l1|l2|…" of basis predicates into the individual predicates (§6: a
+// points-to relation guarded by l1∨l2 splits into one relation per basis
+// predicate). Empty conditions yield a single empty predicate.
+func SplitPathCondition(cond string) []string {
+	if cond == "" {
+		return []string{""}
+	}
+	var out []string
+	start := 0
+	for i := 0; i <= len(cond); i++ {
+		if i == len(cond) || cond[i] == '|' {
+			if i > start {
+				out = append(out, cond[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if len(out) == 0 {
+		return []string{""}
+	}
+	return out
+}
+
+// ExpandPathSensitive splits every fact's pointer condition into basis
+// predicates, producing one fact per predicate.
+func ExpandPathSensitive(facts []CondFact) []CondFact {
+	var out []CondFact
+	for _, f := range facts {
+		for _, l := range SplitPathCondition(f.PtrCond) {
+			g := f
+			g.PtrCond = l
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// FlowFact is a flow-sensitive points-to fact: at program point Point,
+// pointer Ptr points to Obj.
+type FlowFact struct {
+	Point string
+	Ptr   string
+	Obj   string
+}
+
+// NormalizeFlow maps flow-sensitive facts (l, p) → o to the matrix form by
+// renaming (l, p) to the fresh pointer p_l (§6).
+func NormalizeFlow(facts []FlowFact) *Normalized {
+	cf := make([]CondFact, len(facts))
+	for i, f := range facts {
+		cf[i] = CondFact{PtrCond: f.Point, Ptr: f.Ptr, Obj: f.Obj}
+	}
+	return Normalize(cf)
+}
+
+// String renders a fact for diagnostics.
+func (f CondFact) String() string {
+	return fmt.Sprintf("(%s,%s) -> (%s,%s)", f.PtrCond, f.Ptr, f.ObjCond, f.Obj)
+}

@@ -1,0 +1,134 @@
+package anders
+
+import (
+	"testing"
+)
+
+func TestNormalizeFlow(t *testing.T) {
+	// p points to o1 at l1 and o2 at l2: two distinct matrix pointers.
+	n := NormalizeFlow([]FlowFact{
+		{Point: "l1", Ptr: "p", Obj: "o1"},
+		{Point: "l2", Ptr: "p", Obj: "o2"},
+		{Point: "l1", Ptr: "q", Obj: "o1"},
+	})
+	if n.PM.NumPointers != 3 || n.PM.NumObjects != 2 {
+		t.Fatalf("dims %d×%d, want 3×2", n.PM.NumPointers, n.PM.NumObjects)
+	}
+	pl1 := n.PointerID("l1", "p")
+	pl2 := n.PointerID("l2", "p")
+	if pl1 < 0 || pl2 < 0 || pl1 == pl2 {
+		t.Fatalf("flow versions not split: %d %d", pl1, pl2)
+	}
+	if !n.PM.Has(pl1, n.ObjectID("", "o1")) || n.PM.Has(pl1, n.ObjectID("", "o2")) {
+		t.Fatal("facts misplaced")
+	}
+	// At l1, p and q alias (both point to o1).
+	ql1 := n.PointerID("l1", "q")
+	if !n.PM.Row(pl1).Intersects(n.PM.Row(ql1)) {
+		t.Fatal("same-point alias lost")
+	}
+	// Across points, p@l2 and q@l1 do not alias.
+	if n.PM.Row(pl2).Intersects(n.PM.Row(ql1)) {
+		t.Fatal("cross-point spurious alias")
+	}
+}
+
+func TestNormalizeContextObjects(t *testing.T) {
+	// (c1, p) -> (c2, o): both sides conditioned.
+	n := Normalize([]CondFact{
+		{PtrCond: "c1", Ptr: "p", ObjCond: "c2", Obj: "o"},
+		{PtrCond: "c1", Ptr: "p", ObjCond: "c3", Obj: "o"},
+	})
+	if n.PM.NumObjects != 2 {
+		t.Fatalf("object cloning lost: %d objects", n.PM.NumObjects)
+	}
+	p := n.PointerID("c1", "p")
+	if !n.PM.Has(p, n.ObjectID("c2", "o")) || !n.PM.Has(p, n.ObjectID("c3", "o")) {
+		t.Fatal("facts missing")
+	}
+}
+
+func TestMergeContextsTopCallsite(t *testing.T) {
+	facts := []CondFact{
+		{PtrCond: "cs1/cs3", Ptr: "p", ObjCond: "cs2/cs3", Obj: "o"},
+		{PtrCond: "cs4/cs3", Ptr: "p", Obj: "g"},
+	}
+	merged := MergeContexts(facts, nil)
+	if merged[0].PtrCond != "cs3" || merged[0].ObjCond != "cs3" {
+		t.Fatalf("merge wrong: %+v", merged[0])
+	}
+	if merged[1].PtrCond != "cs3" || merged[1].ObjCond != "" {
+		t.Fatalf("merge wrong: %+v", merged[1])
+	}
+	// After merging, the two p versions coincide.
+	n := Normalize(merged)
+	if n.PM.NumPointers != 1 {
+		t.Fatalf("contexts not merged: %d pointers", n.PM.NumPointers)
+	}
+}
+
+func TestTopCallsite(t *testing.T) {
+	cases := map[string]string{
+		"":          "",
+		"cs1":       "cs1",
+		"cs1/cs2":   "cs2",
+		"a/b/c":     "c",
+		"trailing/": "",
+	}
+	for in, want := range cases {
+		if got := TopCallsite(in); got != want {
+			t.Errorf("TopCallsite(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSplitPathCondition(t *testing.T) {
+	cases := map[string][]string{
+		"":         {""},
+		"l1":       {"l1"},
+		"l1|l2":    {"l1", "l2"},
+		"l1|l2|l3": {"l1", "l2", "l3"},
+		"|":        {""},
+	}
+	for in, want := range cases {
+		got := SplitPathCondition(in)
+		if len(got) != len(want) {
+			t.Errorf("SplitPathCondition(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("SplitPathCondition(%q) = %v, want %v", in, got, want)
+			}
+		}
+	}
+}
+
+func TestExpandPathSensitive(t *testing.T) {
+	// p --l1∨l2--> o becomes p_l1 -> o and p_l2 -> o (§6).
+	out := ExpandPathSensitive([]CondFact{{PtrCond: "l1|l2", Ptr: "p", Obj: "o"}})
+	if len(out) != 2 {
+		t.Fatalf("expanded to %d facts, want 2", len(out))
+	}
+	n := Normalize(out)
+	if n.PM.NumPointers != 2 || n.PointerID("l1", "p") < 0 || n.PointerID("l2", "p") < 0 {
+		t.Fatal("basis predicates not split into pointers")
+	}
+}
+
+func TestNormalizeLookupMisses(t *testing.T) {
+	n := Normalize(nil)
+	if n.PointerID("", "x") != -1 || n.ObjectID("", "y") != -1 {
+		t.Fatal("missing names should be -1")
+	}
+	if n.PM.NumPointers != 0 || n.PM.NumObjects != 0 {
+		t.Fatal("empty normalization not empty")
+	}
+}
+
+func TestCondFactString(t *testing.T) {
+	f := CondFact{PtrCond: "c", Ptr: "p", ObjCond: "d", Obj: "o"}
+	if f.String() != "(c,p) -> (d,o)" {
+		t.Fatalf("String = %q", f.String())
+	}
+}

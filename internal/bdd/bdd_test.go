@@ -1,0 +1,253 @@
+package bdd
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTerminalsAndVar(t *testing.T) {
+	b := New(3)
+	if b.NumNodes() != 2 {
+		t.Fatalf("fresh manager has %d nodes, want 2 terminals", b.NumNodes())
+	}
+	x := b.Var(0)
+	if !b.Eval(x, []bool{true, false, false}) || b.Eval(x, []bool{false, true, true}) {
+		t.Fatal("Var(0) evaluates wrong")
+	}
+	nx := b.NVar(0)
+	if b.Eval(nx, []bool{true, false, false}) || !b.Eval(nx, []bool{false, false, false}) {
+		t.Fatal("NVar(0) evaluates wrong")
+	}
+	if b.Var(1) != b.Var(1) {
+		t.Fatal("hash consing broken: Var(1) not canonical")
+	}
+}
+
+func TestVarPanicsOutOfRange(t *testing.T) {
+	b := New(2)
+	for _, v := range []int{-1, 2} {
+		v := v
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Var(%d) did not panic", v)
+				}
+			}()
+			b.Var(v)
+		}()
+	}
+}
+
+func TestBooleanAlgebra(t *testing.T) {
+	b := New(4)
+	x, y := b.Var(0), b.Var(1)
+	if b.And(x, False) != False || b.And(x, True) != x {
+		t.Fatal("And identities")
+	}
+	if b.Or(x, True) != True || b.Or(x, False) != x {
+		t.Fatal("Or identities")
+	}
+	if b.And(x, x) != x || b.Or(y, y) != y {
+		t.Fatal("idempotence")
+	}
+	if b.And(x, y) != b.And(y, x) || b.Or(x, y) != b.Or(y, x) {
+		t.Fatal("commutativity (canonicity)")
+	}
+}
+
+// randomFormula builds a random formula and a mirror evaluator function.
+func randomFormula(b *BDD, rng *rand.Rand, depth int) (Ref, func([]bool) bool) {
+	if depth == 0 || rng.Intn(4) == 0 {
+		v := rng.Intn(b.NumVars())
+		if rng.Intn(2) == 0 {
+			return b.Var(v), func(a []bool) bool { return a[v] }
+		}
+		return b.NVar(v), func(a []bool) bool { return !a[v] }
+	}
+	l, fl := randomFormula(b, rng, depth-1)
+	r, fr := randomFormula(b, rng, depth-1)
+	if rng.Intn(2) == 0 {
+		return b.And(l, r), func(a []bool) bool { return fl(a) && fr(a) }
+	}
+	return b.Or(l, r), func(a []bool) bool { return fl(a) || fr(a) }
+}
+
+func TestQuickFormulaSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 1 + rng.Intn(6)
+		b := New(nv)
+		root, eval := randomFormula(b, rng, 4)
+		// Exhaustive truth-table comparison.
+		for mask := 0; mask < 1<<uint(nv); mask++ {
+			a := make([]bool, nv)
+			for i := range a {
+				a[i] = mask&(1<<uint(i)) != 0
+			}
+			if b.Eval(root, a) != eval(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSatCount(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 1 + rng.Intn(6)
+		b := New(nv)
+		root, eval := randomFormula(b, rng, 4)
+		want := 0
+		for mask := 0; mask < 1<<uint(nv); mask++ {
+			a := make([]bool, nv)
+			for i := range a {
+				a[i] = mask&(1<<uint(i)) != 0
+			}
+			if eval(a) {
+				want++
+			}
+		}
+		return int(b.SatCount(root)+0.5) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	b := New(3)
+	// f = (x0 ∧ x1) ∨ x2
+	f := b.Or(b.And(b.Var(0), b.Var(1)), b.Var(2))
+	// f[x0=1] = x1 ∨ x2
+	g := b.Restrict(f, []int{0}, []bool{true})
+	want := b.Or(b.Var(1), b.Var(2))
+	if g != want {
+		t.Fatal("Restrict(x0=1) wrong")
+	}
+	// f[x0=0] = x2
+	if b.Restrict(f, []int{0}, []bool{false}) != b.Var(2) {
+		t.Fatal("Restrict(x0=0) wrong")
+	}
+	// Restricting all variables yields a terminal.
+	if b.Restrict(f, []int{0, 1, 2}, []bool{true, true, false}) != True {
+		t.Fatal("full restriction wrong")
+	}
+}
+
+func TestCube(t *testing.T) {
+	b := New(4)
+	c := b.Cube([]int{0, 2, 3}, []bool{true, false, true})
+	for mask := 0; mask < 16; mask++ {
+		a := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0, mask&8 != 0}
+		want := a[0] && !a[2] && a[3]
+		if b.Eval(c, a) != want {
+			t.Fatalf("cube wrong at %v", a)
+		}
+	}
+}
+
+func TestCubePanicsOnUnsorted(t *testing.T) {
+	b := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Cube with unsorted vars did not panic")
+		}
+	}()
+	b.Cube([]int{2, 0}, []bool{true, true})
+}
+
+func TestAllSatEnumerates(t *testing.T) {
+	b := New(3)
+	f := b.Or(b.And(b.Var(0), b.Var(1)), b.Var(2))
+	got := map[int]bool{}
+	b.AllSat(f, []int{0, 1, 2}, func(vals []bool) bool {
+		k := 0
+		for i, v := range vals {
+			if v {
+				k |= 1 << uint(i)
+			}
+		}
+		got[k] = true
+		return true
+	})
+	want := 0
+	for mask := 0; mask < 8; mask++ {
+		a := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		if (a[0] && a[1]) || a[2] {
+			want++
+			if !got[mask] {
+				t.Fatalf("AllSat missed assignment %03b", mask)
+			}
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("AllSat produced %d assignments, want %d", len(got), want)
+	}
+}
+
+func TestAllSatEarlyStop(t *testing.T) {
+	b := New(3)
+	n := 0
+	b.AllSat(True, []int{0, 1, 2}, func([]bool) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d, want 3", n)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := New(6)
+	root, _ := randomFormula(b, rng, 5)
+	var buf bytes.Buffer
+	n, err := b.WriteTo(&buf, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo returned %d, buffer has %d", n, buf.Len())
+	}
+	b2, root2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := 0; mask < 64; mask++ {
+		a := make([]bool, 6)
+		for i := range a {
+			a[i] = mask&(1<<uint(i)) != 0
+		}
+		if b.Eval(root, a) != b2.Eval(root2, a) {
+			t.Fatalf("round trip differs at %06b", mask)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	for _, c := range [][]byte{nil, []byte("NOPE"), []byte("BDD1")} {
+		if _, _, err := Read(bytes.NewReader(c)); err == nil {
+			t.Errorf("Read accepted %q", c)
+		}
+	}
+}
+
+func TestSerializeTerminals(t *testing.T) {
+	b := New(2)
+	for _, root := range []Ref{False, True} {
+		var buf bytes.Buffer
+		if _, err := b.WriteTo(&buf, root); err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != root {
+			t.Fatalf("terminal %v round-tripped to %v", root, got)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package bdd
+
+import (
+	"testing"
+
+	"pestrie/internal/synth"
+)
+
+func BenchmarkEncodeMatrix(b *testing.B) {
+	pm := synth.PresetByName("antlr").Generate(0.002)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeMatrix(pm)
+	}
+}
+
+func BenchmarkListPointsToBDD(b *testing.B) {
+	pm := synth.PresetByName("antlr").Generate(0.002)
+	rel := EncodeMatrix(pm)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel.ListPointsTo(i % pm.NumPointers)
+	}
+}

@@ -1,0 +1,144 @@
+package bdd
+
+import "pestrie/internal/matrix"
+
+// Existential quantification and the relational alias product: the
+// classical BDD way to compute the alias matrix AM(p,q) = ∃o. PM(p,o) ∧
+// PM(q,o) that Whaley-style frameworks use. The paper's point (§1, §2.1)
+// is that even when BDDs compute such relations compactly, *querying* them
+// stays slow; AliasRelation lets the benchmarks quantify that.
+
+// Exists existentially quantifies the given variables (strictly
+// increasing) out of u.
+func (b *BDD) Exists(u Ref, vars []int) Ref {
+	type key struct {
+		u Ref
+		i int
+	}
+	memo := map[key]Ref{}
+	var rec func(u Ref, i int) Ref
+	rec = func(u Ref, i int) Ref {
+		for i < len(vars) && int32(vars[i]) < b.level(u) {
+			i++
+		}
+		if u <= True || i == len(vars) {
+			return u
+		}
+		k := key{u, i}
+		if r, ok := memo[k]; ok {
+			return r
+		}
+		n := b.nodes[u]
+		var r Ref
+		if int32(vars[i]) == n.level {
+			// ∃x. f = f[x=0] ∨ f[x=1].
+			r = b.Or(rec(n.low, i+1), rec(n.high, i+1))
+		} else {
+			r = b.mk(n.level, rec(n.low, i), rec(n.high, i))
+		}
+		memo[k] = r
+		return r
+	}
+	return rec(u, 0)
+}
+
+// AliasRelation is the BDD-encoded alias matrix over two pointer-variable
+// vectors.
+type AliasRelation struct {
+	NumPointers int
+	PtrBits     int
+
+	b    *BDD
+	root Ref
+
+	pVars, qVars []int // MSB-first variable indices for each operand
+}
+
+// BuildAliasRelation computes AM = ∃o. PM(p,o) ∧ PM(q,o) as a BDD over
+// interleaved p/q/o variables, then quantifies the object bits away.
+func BuildAliasRelation(pm *matrix.PointsTo) *AliasRelation {
+	pb := bitsFor(pm.NumPointers)
+	ob := bitsFor(pm.NumObjects)
+	total := 2*pb + ob
+	b := New(total)
+
+	ar := &AliasRelation{NumPointers: pm.NumPointers, PtrBits: pb, b: b}
+	// Variable layout: p0,q0,o0,p1,q1,o1,… (triples while bits remain).
+	var oVars []int
+	pi, qi, oi := 0, 0, 0
+	for v := 0; v < total; v++ {
+		switch {
+		case pi <= qi && pi <= oi && pi < pb:
+			ar.pVars = append(ar.pVars, v)
+			pi++
+		case qi <= oi && qi < pb:
+			ar.qVars = append(ar.qVars, v)
+			qi++
+		case oi < ob:
+			oVars = append(oVars, v)
+			oi++
+		case pi < pb:
+			ar.pVars = append(ar.pVars, v)
+			pi++
+		default:
+			ar.qVars = append(ar.qVars, v)
+			qi++
+		}
+	}
+	pAsc := ascending(ar.pVars)
+	qAsc := ascending(ar.qVars)
+	oAsc := ascending(oVars)
+
+	cube := func(asc []varSlot, msb []bool) Ref {
+		vars := make([]int, len(asc))
+		vals := make([]bool, len(asc))
+		for i, vs := range asc {
+			vars[i] = vs.v
+			vals[i] = msb[vs.slot]
+		}
+		return b.Cube(vars, vals)
+	}
+
+	// PMp(p,o) and PMq(q,o).
+	pmP, pmQ := False, False
+	for p := 0; p < pm.NumPointers; p++ {
+		row := pm.Row(p)
+		if row.Empty() {
+			continue
+		}
+		objs := False
+		row.ForEach(func(o int) bool {
+			objs = b.Or(objs, cube(oAsc, valueBits(o, ob)))
+			return true
+		})
+		pmP = b.Or(pmP, b.And(cube(pAsc, valueBits(p, pb)), objs))
+		pmQ = b.Or(pmQ, b.And(cube(qAsc, valueBits(p, pb)), objs))
+	}
+	conj := b.And(pmP, pmQ)
+	oAscVars := make([]int, len(oAsc))
+	for i, vs := range oAsc {
+		oAscVars[i] = vs.v
+	}
+	ar.root = b.Exists(conj, oAscVars)
+	return ar
+}
+
+// Has reports whether pointers p and q alias according to the relation.
+func (ar *AliasRelation) Has(p, q int) bool {
+	if p < 0 || p >= ar.NumPointers || q < 0 || q >= ar.NumPointers {
+		return false
+	}
+	assignment := make([]bool, ar.b.NumVars())
+	pb := valueBits(p, ar.PtrBits)
+	qb := valueBits(q, ar.PtrBits)
+	for slot, v := range ar.pVars {
+		assignment[v] = pb[slot]
+	}
+	for slot, v := range ar.qVars {
+		assignment[v] = qb[slot]
+	}
+	return ar.b.Eval(ar.root, assignment)
+}
+
+// NumNodes returns the size of the alias relation BDD.
+func (ar *AliasRelation) NumNodes() int { return ar.b.ReachableNodes(ar.root) }

@@ -1,0 +1,105 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pestrie/internal/matrix"
+)
+
+func TestExistsBasic(t *testing.T) {
+	b := New(3)
+	// ∃x1. (x0 ∧ x1) = x0.
+	f := b.And(b.Var(0), b.Var(1))
+	if got := b.Exists(f, []int{1}); got != b.Var(0) {
+		t.Fatal("∃x1. x0∧x1 != x0")
+	}
+	// ∃x0. x0 = true.
+	if b.Exists(b.Var(0), []int{0}) != True {
+		t.Fatal("∃x. x != true")
+	}
+	// Quantifying a variable not in the support is the identity.
+	if b.Exists(f, []int{2}) != f {
+		t.Fatal("∃ over non-support changed f")
+	}
+	// Terminals are fixed points.
+	if b.Exists(True, []int{0}) != True || b.Exists(False, []int{1}) != False {
+		t.Fatal("terminal quantification wrong")
+	}
+}
+
+func TestQuickExistsSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 2 + rng.Intn(5)
+		b := New(nv)
+		root, eval := randomFormula(b, rng, 4)
+		v := rng.Intn(nv)
+		q := b.Exists(root, []int{v})
+		for mask := 0; mask < 1<<uint(nv); mask++ {
+			a := make([]bool, nv)
+			for i := range a {
+				a[i] = mask&(1<<uint(i)) != 0
+			}
+			a0 := append([]bool(nil), a...)
+			a0[v] = false
+			a1 := append([]bool(nil), a...)
+			a1[v] = true
+			want := eval(a0) || eval(a1)
+			if b.Eval(q, a) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAliasRelationSmall(t *testing.T) {
+	pm := matrix.New(4, 3)
+	pm.Add(0, 0)
+	pm.Add(1, 0)
+	pm.Add(2, 1)
+	// pointer 3 empty.
+	ar := BuildAliasRelation(pm)
+	want := func(p, q int) bool { return pm.Row(p).Intersects(pm.Row(q)) }
+	for p := 0; p < 4; p++ {
+		for q := 0; q < 4; q++ {
+			if ar.Has(p, q) != want(p, q) {
+				t.Fatalf("Has(%d,%d) != %v", p, q, want(p, q))
+			}
+		}
+	}
+	if ar.Has(-1, 0) || ar.Has(0, 4) {
+		t.Fatal("out-of-range Has true")
+	}
+	if ar.NumNodes() <= 2 {
+		t.Fatal("suspiciously small relation")
+	}
+}
+
+func TestQuickAliasRelation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		np, no := 1+rng.Intn(12), 1+rng.Intn(10)
+		pm := matrix.New(np, no)
+		for i := rng.Intn(60); i > 0; i-- {
+			pm.Add(rng.Intn(np), rng.Intn(no))
+		}
+		ar := BuildAliasRelation(pm)
+		for p := 0; p < np; p++ {
+			for q := 0; q < np; q++ {
+				if ar.Has(p, q) != pm.Row(p).Intersects(pm.Row(q)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

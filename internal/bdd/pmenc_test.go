@@ -1,0 +1,168 @@
+package bdd
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pestrie/internal/matrix"
+)
+
+func randomPM(rng *rand.Rand, np, no, edges int) *matrix.PointsTo {
+	pm := matrix.New(np, no)
+	for i := 0; i < edges; i++ {
+		pm.Add(rng.Intn(np), rng.Intn(no))
+	}
+	return pm
+}
+
+func sortedInts(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func relationMatches(rel *Relation, pm *matrix.PointsTo) bool {
+	for p := 0; p < pm.NumPointers; p++ {
+		if !equalInts(sortedInts(rel.ListPointsTo(p)), pm.Row(p).Members()) {
+			return false
+		}
+		for o := 0; o < pm.NumObjects; o++ {
+			if rel.Has(p, o) != pm.Has(p, o) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestEncodeMatrixSmall(t *testing.T) {
+	pm := matrix.New(3, 3)
+	pm.Add(0, 0)
+	pm.Add(0, 2)
+	pm.Add(2, 1)
+	rel := EncodeMatrix(pm)
+	if !relationMatches(rel, pm) {
+		t.Fatal("relation disagrees with matrix")
+	}
+	if rel.IsAlias(0, 2) {
+		t.Fatal("spurious alias")
+	}
+	pm2 := matrix.New(3, 3)
+	pm2.Add(0, 0)
+	pm2.Add(1, 0)
+	rel2 := EncodeMatrix(pm2)
+	if !rel2.IsAlias(0, 1) {
+		t.Fatal("missed alias")
+	}
+	if rel2.IsAlias(0, 2) || rel2.IsAlias(2, 2) {
+		t.Fatal("empty pointer aliases")
+	}
+}
+
+func TestEncodeNonPowerOfTwoDims(t *testing.T) {
+	// Dimensions that do not fill the bit space: decode must not invent
+	// out-of-range IDs.
+	rng := rand.New(rand.NewSource(4))
+	pm := randomPM(rng, 5, 9, 30)
+	rel := EncodeMatrix(pm)
+	if !relationMatches(rel, pm) {
+		t.Fatal("relation disagrees with matrix")
+	}
+}
+
+func TestQuickRelationAgainstMatrix(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		np, no := 1+rng.Intn(20), 1+rng.Intn(20)
+		pm := randomPM(rng, np, no, rng.Intn(120))
+		rel := EncodeMatrix(pm)
+		if !relationMatches(rel, pm) {
+			return false
+		}
+		// IsAlias agrees with set intersection.
+		for trial := 0; trial < 20; trial++ {
+			p, q := rng.Intn(np), rng.Intn(np)
+			if rel.IsAlias(p, q) != pm.Row(p).Intersects(pm.Row(q)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelationSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pm := randomPM(rng, 12, 7, 50)
+	rel := EncodeMatrix(pm)
+	var buf bytes.Buffer
+	n, err := rel.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) || rel.EncodedSize() != n {
+		t.Errorf("size accounting: n=%d len=%d enc=%d", n, buf.Len(), rel.EncodedSize())
+	}
+	got, err := ReadRelation(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relationMatches(got, pm) {
+		t.Fatal("loaded relation disagrees with matrix")
+	}
+}
+
+func TestRelationSatCountEqualsEdges(t *testing.T) {
+	// When dimensions are exact powers of two, every satisfying assignment
+	// is a valid (p, o) pair, so SatCount equals the number of facts.
+	rng := rand.New(rand.NewSource(6))
+	pm := randomPM(rng, 8, 4, 40)
+	rel := EncodeMatrix(pm)
+	if got := int(rel.b.SatCount(rel.root) + 0.5); got != pm.Edges() {
+		t.Fatalf("SatCount = %d, want %d", got, pm.Edges())
+	}
+}
+
+func TestRelationSharingCompresses(t *testing.T) {
+	// 64 pointers all pointing to the same 4 objects: massive sharing, so
+	// the BDD must stay tiny relative to 64 separate rows.
+	pm := matrix.New(64, 4)
+	for p := 0; p < 64; p++ {
+		for o := 0; o < 4; o++ {
+			pm.Add(p, o)
+		}
+	}
+	rel := EncodeMatrix(pm)
+	if rel.NumNodes() > 32 {
+		t.Fatalf("BDD has %d nodes for a fully-shared relation", rel.NumNodes())
+	}
+	if !relationMatches(rel, pm) {
+		t.Fatal("relation wrong")
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := bitsFor(n); got != want {
+			t.Errorf("bitsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

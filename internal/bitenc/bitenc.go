@@ -1,0 +1,282 @@
+// Package bitenc implements the bitmap persistence baseline ("BitP") the
+// paper compares Pestrie against (§2.1, §7): the points-to matrix PM and the
+// alias matrix AM = PM × PMᵀ are stored as sparse bitmaps after merging
+// equivalent pointers and objects. Queries are answered directly from the
+// bitmaps, so IsAlias costs a bitmap bit-lookup — O(n) through the linked
+// block list — while ListAliases is a pre-computed row expansion.
+package bitenc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"pestrie/internal/matrix"
+)
+
+const (
+	bitMagic   = "BIT1"
+	bitVersion = 1
+)
+
+// Encoding is the in-memory BitP structure: class-compressed PM, its
+// transpose, and the class-level alias matrix.
+type Encoding struct {
+	NumPointers int
+	NumObjects  int
+
+	ptrClassOf []int // pointer -> pointer class
+	objClassOf []int // object -> object class
+	ptrMembers [][]int32
+	objMembers [][]int32
+
+	pm  *matrix.PointsTo // pointer-class × object-class
+	pmt *matrix.PointsTo // object-class × pointer-class
+	am  *matrix.PointsTo // pointer-class × pointer-class
+}
+
+// Encode builds the BitP encoding of pm: detect pointer and object
+// equivalence classes, compress PM to class granularity, and materialize
+// the alias matrix over pointer classes.
+func Encode(pm *matrix.PointsTo) *Encoding {
+	ptrClassOf, nPtrClasses := pm.EquivalenceClasses()
+	objClassOf, nObjClasses := pm.ObjectEquivalenceClasses()
+
+	e := &Encoding{
+		NumPointers: pm.NumPointers,
+		NumObjects:  pm.NumObjects,
+		ptrClassOf:  ptrClassOf,
+		objClassOf:  objClassOf,
+	}
+	e.buildMembers()
+
+	cpm := matrix.New(nPtrClasses, nObjClasses)
+	seen := make([]bool, nPtrClasses)
+	for p := 0; p < pm.NumPointers; p++ {
+		c := ptrClassOf[p]
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		pm.Row(p).ForEach(func(o int) bool {
+			cpm.Add(c, objClassOf[o])
+			return true
+		})
+	}
+	e.pm = cpm
+	e.pmt = cpm.Transpose()
+	e.am = cpm.AliasMatrixWith(e.pmt)
+	return e
+}
+
+func (e *Encoding) buildMembers() {
+	maxPtr, maxObj := 0, 0
+	for _, c := range e.ptrClassOf {
+		if c+1 > maxPtr {
+			maxPtr = c + 1
+		}
+	}
+	for _, c := range e.objClassOf {
+		if c+1 > maxObj {
+			maxObj = c + 1
+		}
+	}
+	e.ptrMembers = make([][]int32, maxPtr)
+	for p, c := range e.ptrClassOf {
+		e.ptrMembers[c] = append(e.ptrMembers[c], int32(p))
+	}
+	e.objMembers = make([][]int32, maxObj)
+	for o, c := range e.objClassOf {
+		e.objMembers[c] = append(e.objMembers[c], int32(o))
+	}
+}
+
+// IsAlias reports whether p and q may alias: an AM bit test at class
+// granularity.
+func (e *Encoding) IsAlias(p, q int) bool {
+	if p < 0 || p >= e.NumPointers || q < 0 || q >= e.NumPointers {
+		return false
+	}
+	return e.am.Has(e.ptrClassOf[p], e.ptrClassOf[q])
+}
+
+// ListAliases returns the pointers aliased to p, excluding p itself.
+func (e *Encoding) ListAliases(p int) []int {
+	if p < 0 || p >= e.NumPointers {
+		return nil
+	}
+	var out []int
+	e.am.Row(e.ptrClassOf[p]).ForEach(func(c int) bool {
+		for _, q := range e.ptrMembers[c] {
+			if int(q) != p {
+				out = append(out, int(q))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ListPointsTo returns the objects p may point to.
+func (e *Encoding) ListPointsTo(p int) []int {
+	if p < 0 || p >= e.NumPointers {
+		return nil
+	}
+	var out []int
+	e.pm.Row(e.ptrClassOf[p]).ForEach(func(c int) bool {
+		for _, o := range e.objMembers[c] {
+			out = append(out, int(o))
+		}
+		return true
+	})
+	return out
+}
+
+// ListPointedBy returns the pointers that may point to o.
+func (e *Encoding) ListPointedBy(o int) []int {
+	if o < 0 || o >= e.NumObjects {
+		return nil
+	}
+	var out []int
+	e.pmt.Row(e.objClassOf[o]).ForEach(func(c int) bool {
+		for _, q := range e.ptrMembers[c] {
+			out = append(out, int(q))
+		}
+		return true
+	})
+	return out
+}
+
+// MemoryFootprint estimates the resident size of the query structure in
+// bytes, dominated by the sparse bitmap blocks (~40 bytes per 128-bit block
+// including list overhead, matching GCC's element size ballpark).
+func (e *Encoding) MemoryFootprint() int64 {
+	blocks := 0
+	for _, m := range []*matrix.PointsTo{e.pm, e.pmt, e.am} {
+		for r := 0; r < m.NumPointers; r++ {
+			blocks += m.Row(r).Blocks()
+		}
+	}
+	return int64(blocks)*40 + int64(len(e.ptrClassOf)+len(e.objClassOf))*8
+}
+
+// WriteTo writes the persistent BitP file: class maps, the class-level PM,
+// and the class-level AM. (PMT is recomputed at load.) Returns bytes
+// written.
+func (e *Encoding) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		n, err := bw.Write(buf[:k])
+		written += int64(n)
+		return err
+	}
+	n, err := bw.WriteString(bitMagic)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	for _, v := range []uint64{bitVersion, uint64(e.NumPointers), uint64(e.NumObjects)} {
+		if err := put(v); err != nil {
+			return written, err
+		}
+	}
+	for _, c := range e.ptrClassOf {
+		if err := put(uint64(c)); err != nil {
+			return written, err
+		}
+	}
+	for _, c := range e.objClassOf {
+		if err := put(uint64(c)); err != nil {
+			return written, err
+		}
+	}
+	for _, m := range []*matrix.PointsTo{e.pm, e.am} {
+		k, err := m.WriteTo(bw)
+		written += k
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// EncodedSize returns the BitP file size in bytes without real I/O.
+func (e *Encoding) EncodedSize() int64 {
+	n, _ := e.WriteTo(discard{})
+	return n
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Load reads a BitP file written by WriteTo.
+func Load(r io.Reader) (*Encoding, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(bitMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("bitenc: reading magic: %w", err)
+	}
+	if string(magic) != bitMagic {
+		return nil, fmt.Errorf("bitenc: bad magic %q", magic)
+	}
+	u := func(what string) (int, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("bitenc: reading %s: %w", what, err)
+		}
+		if v > 1<<30 {
+			return 0, fmt.Errorf("bitenc: implausible %s %d", what, v)
+		}
+		return int(v), nil
+	}
+	ver, err := u("version")
+	if err != nil {
+		return nil, err
+	}
+	if ver != bitVersion {
+		return nil, fmt.Errorf("bitenc: unsupported version %d", ver)
+	}
+	e := &Encoding{}
+	if e.NumPointers, err = u("pointer count"); err != nil {
+		return nil, err
+	}
+	if e.NumObjects, err = u("object count"); err != nil {
+		return nil, err
+	}
+	e.ptrClassOf = make([]int, e.NumPointers)
+	for i := range e.ptrClassOf {
+		if e.ptrClassOf[i], err = u("pointer class"); err != nil {
+			return nil, err
+		}
+	}
+	e.objClassOf = make([]int, e.NumObjects)
+	for i := range e.objClassOf {
+		if e.objClassOf[i], err = u("object class"); err != nil {
+			return nil, err
+		}
+	}
+	if e.pm, err = matrix.Read(br); err != nil {
+		return nil, fmt.Errorf("bitenc: PM: %w", err)
+	}
+	if e.am, err = matrix.Read(br); err != nil {
+		return nil, fmt.Errorf("bitenc: AM: %w", err)
+	}
+	for _, c := range e.ptrClassOf {
+		if c >= e.pm.NumPointers {
+			return nil, fmt.Errorf("bitenc: pointer class %d out of range", c)
+		}
+	}
+	for _, c := range e.objClassOf {
+		if c >= e.pm.NumObjects {
+			return nil, fmt.Errorf("bitenc: object class %d out of range", c)
+		}
+	}
+	e.pmt = e.pm.Transpose()
+	e.buildMembers()
+	return e, nil
+}

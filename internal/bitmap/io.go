@@ -1,0 +1,80 @@
+package bitmap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Serialization uses delta-varint coding of the set members: the first
+// member is written as-is, subsequent members as gaps. This is the "BitP"
+// on-disk row format used by the bitmap persistence baseline (§7.1.2): it is
+// compact for clustered sets and decodes in a single linear pass.
+
+// WriteTo writes the set to w as a varint count followed by delta-varint
+// members. It returns the number of bytes written.
+func (s *Sparse) WriteTo(w io.Writer) (int64, error) {
+	var buf [binary.MaxVarintLen64]byte
+	var written int64
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		k, err := w.Write(buf[:n])
+		written += int64(k)
+		return err
+	}
+	if err := put(uint64(s.Count())); err != nil {
+		return written, err
+	}
+	prev := 0
+	var ferr error
+	s.ForEach(func(i int) bool {
+		if ferr = put(uint64(i - prev)); ferr != nil {
+			return false
+		}
+		prev = i
+		return true
+	})
+	return written, ferr
+}
+
+// ReadFrom replaces the contents of s with a set previously written by
+// WriteTo.
+func (s *Sparse) ReadFrom(r io.ByteReader) error {
+	s.first, s.current, s.prev = nil, nil, nil
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("bitmap: reading count: %w", err)
+	}
+	cur := 0
+	for i := uint64(0); i < n; i++ {
+		gap, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("bitmap: reading member %d/%d: %w", i, n, err)
+		}
+		cur += int(gap)
+		s.Set(cur)
+	}
+	return nil
+}
+
+// EncodedSize returns the number of bytes WriteTo would emit, without
+// performing any I/O.
+func (s *Sparse) EncodedSize() int64 {
+	cw := countingWriter{}
+	n, _ := s.WriteTo(&cw)
+	return n
+}
+
+type countingWriter struct{}
+
+func (countingWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// ReadSparse reads one serialized set from r.
+func ReadSparse(r *bufio.Reader) (*Sparse, error) {
+	s := New()
+	if err := s.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

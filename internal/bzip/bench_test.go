@@ -1,0 +1,47 @@
+package bzip
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func benchInput(n int) []byte {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(rng.Intn(16)) // moderately compressible
+	}
+	return out
+}
+
+func BenchmarkCompress(b *testing.B) {
+	data := benchInput(64 << 10)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(data)
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	data := benchInput(64 << 10)
+	comp := Compress(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := Decompress(comp)
+		if err != nil || !bytes.Equal(got, data) {
+			b.Fatal("round trip failed")
+		}
+	}
+}
+
+func BenchmarkBWT(b *testing.B) {
+	data := benchInput(32 << 10)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bwt(data)
+	}
+}

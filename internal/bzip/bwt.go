@@ -1,0 +1,130 @@
+// Package bzip implements a bzip2-style general-purpose compressor — the
+// "off-the-shelf compressing technique such as bzip" baseline of §1 and §7.
+// The pipeline is the classic Burrows–Wheeler stack: BWT, move-to-front,
+// zero-run-length coding (RUNA/RUNB), and canonical Huffman coding, applied
+// per block. Like any generic compressor it ignores the semantics of the
+// points-to relation and must decompress fully before any query can run.
+package bzip
+
+import "sort"
+
+// bwt computes the Burrows–Wheeler transform of data using a suffix array
+// built by prefix doubling (O(n log² n)). It returns the transformed bytes
+// and the primary index (the row of the original string in the sorted
+// rotation matrix), computed over data + virtual sentinel.
+func bwt(data []byte) (out []byte, primary int) {
+	n := len(data)
+	if n == 0 {
+		return nil, 0
+	}
+	// Suffix array over data plus a unique smallest sentinel at position n.
+	sa := suffixArray(data)
+	// sa has length n+1 and sa[0] == n (the sentinel suffix).
+	out = make([]byte, 0, n)
+	primary = -1
+	for i, s := range sa {
+		if s == 0 {
+			// The full string: its BWT character is the sentinel, which we
+			// do not emit; record its row instead.
+			primary = i
+			continue
+		}
+		out = append(out, data[s-1])
+	}
+	return out, primary
+}
+
+// unbwt inverts the transform.
+func unbwt(out []byte, primary int) []byte {
+	n := len(out)
+	if n == 0 {
+		return nil
+	}
+	// Reconstruct using the standard LF-mapping over the sentinel-extended
+	// string: conceptually the BWT column has n+1 entries where row
+	// `primary` holds the sentinel.
+	// counts[c]: number of characters < c in the column (sentinel counts
+	// as the single smallest character).
+	var freq [256]int
+	for _, c := range out {
+		freq[c]++
+	}
+	var starts [256]int
+	acc := 1 // sentinel occupies rank 0
+	for c := 0; c < 256; c++ {
+		starts[c] = acc
+		acc += freq[c]
+	}
+	// next[i] = row of the rotation that follows row i's rotation.
+	// Column index j in `out` corresponds to matrix row j if j < primary,
+	// else row j+1.
+	next := make([]int, n+1)
+	var rank [256]int
+	for j, c := range out {
+		row := j
+		if j >= primary {
+			row = j + 1
+		}
+		next[starts[c]+rank[c]] = row
+		rank[c]++
+	}
+	res := make([]byte, 0, n)
+	row := primary
+	for i := 0; i < n; i++ {
+		row = next[row]
+		col := row
+		if row > primary {
+			col = row - 1
+		}
+		res = append(res, out[col])
+	}
+	return res
+}
+
+// suffixArray returns the suffix array of data + sentinel (the sentinel is
+// the unique smallest character, at index len(data)).
+func suffixArray(data []byte) []int {
+	n := len(data) + 1
+	sa := make([]int, n)
+	rank := make([]int, n)
+	tmp := make([]int, n)
+	for i := 0; i < n; i++ {
+		sa[i] = i
+		if i < len(data) {
+			rank[i] = int(data[i]) + 1
+		} else {
+			rank[i] = 0 // sentinel
+		}
+	}
+	for k := 1; ; k *= 2 {
+		key := func(i int) (int, int) {
+			second := -1
+			if i+k < n {
+				second = rank[i+k]
+			}
+			return rank[i], second
+		}
+		sort.Slice(sa, func(a, b int) bool {
+			r1a, r2a := key(sa[a])
+			r1b, r2b := key(sa[b])
+			if r1a != r1b {
+				return r1a < r1b
+			}
+			return r2a < r2b
+		})
+		tmp[sa[0]] = 0
+		for i := 1; i < n; i++ {
+			r1p, r2p := key(sa[i-1])
+			r1c, r2c := key(sa[i])
+			tmp[sa[i]] = tmp[sa[i-1]]
+			if r1p != r1c || r2p != r2c {
+				tmp[sa[i]]++
+			}
+		}
+		copy(rank, tmp)
+		if rank[sa[n-1]] == n-1 {
+			break
+		}
+	}
+	return sa
+}

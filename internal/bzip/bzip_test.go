@@ -1,0 +1,244 @@
+package bzip
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBWTRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"a",
+		"banana",
+		"abracadabra",
+		"mississippi",
+		strings.Repeat("ab", 100),
+		strings.Repeat("x", 257),
+	}
+	for _, c := range cases {
+		out, primary := bwt([]byte(c))
+		got := unbwt(out, primary)
+		if string(got) != c {
+			t.Errorf("BWT round trip of %q gave %q", c, got)
+		}
+	}
+}
+
+func TestBWTKnownVector(t *testing.T) {
+	// With a sentinel smaller than every byte, BWT("banana") over
+	// "banana$" is "annb$aa" with the sentinel at the primary index.
+	out, primary := bwt([]byte("banana"))
+	// Sorted suffixes of banana$: $, a$, ana$, anana$, banana$, na$, nana$
+	// Preceding chars:            a   n    n     b      ($)     a    a
+	want := "annbaa" // sentinel (row 4) skipped
+	if string(out) != want {
+		t.Errorf("bwt(banana) = %q, want %q", out, want)
+	}
+	if primary != 4 {
+		t.Errorf("primary = %d, want 4", primary)
+	}
+}
+
+func TestMTFRoundTrip(t *testing.T) {
+	data := []byte("hello hello hello world")
+	enc := mtfEncode(data)
+	if got := mtfDecode(enc); !bytes.Equal(got, data) {
+		t.Fatalf("MTF round trip gave %q", got)
+	}
+	// Repeats must become zeros.
+	rep := mtfEncode([]byte("aaaa"))
+	if rep[1] != 0 || rep[2] != 0 || rep[3] != 0 {
+		t.Fatalf("MTF of run = %v, want zeros after first", rep)
+	}
+}
+
+func TestRLERoundTrip(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{0},
+		{0, 0, 0, 0, 0},
+		{1, 2, 3},
+		{0, 0, 5, 0, 7, 0, 0, 0},
+		bytes.Repeat([]byte{0}, 1000),
+	}
+	for _, c := range cases {
+		syms := rleEncode(c)
+		got, ok := rleDecode(syms, len(c))
+		if !ok || !bytes.Equal(got, c) {
+			t.Errorf("RLE round trip of %v gave %v (ok=%v)", c, got, ok)
+		}
+	}
+}
+
+func TestRLERejectsCorrupt(t *testing.T) {
+	if _, ok := rleDecode([]uint16{0, symEOB}, 100); ok {
+		t.Error("accepted symbol 0")
+	}
+	if _, ok := rleDecode([]uint16{1, 2}, 100); ok {
+		t.Error("accepted stream without EOB")
+	}
+	// Run-length expansion past the declared size must be rejected, even
+	// for exponentially coded runs.
+	if _, ok := rleDecode([]uint16{symRunA, symRunA, symEOB}, 2); ok {
+		t.Error("accepted over-long zero run")
+	}
+	big := make([]uint16, 64)
+	for i := range big {
+		big[i] = symRunB
+	}
+	big = append(big, symEOB)
+	if _, ok := rleDecode(big, 1024); ok {
+		t.Error("accepted exponential zero run")
+	}
+	if _, ok := rleDecode([]uint16{1, 2, 3, symEOB}, 2); ok {
+		t.Error("accepted over-long literal stream")
+	}
+}
+
+func TestHuffmanRoundTrip(t *testing.T) {
+	freq := make([]int, numSyms)
+	freq[symRunA] = 100
+	freq[symEOB] = 1
+	freq['a'] = 50
+	freq['b'] = 20
+	freq['z'] = 1
+	lengths := codeLengths(freq)
+	codes := canonicalCodes(lengths)
+	// More frequent symbols must not have longer codes.
+	if lengths[symRunA] > lengths['z'] {
+		t.Error("frequent symbol got longer code")
+	}
+	msg := []int{symRunA, 'a', 'b', 'z', symRunA, 'a', symEOB}
+	bw := &bitWriter{}
+	for _, s := range msg {
+		bw.writeBits(codes[s], int(lengths[s]))
+	}
+	br := &bitReader{data: bw.flush()}
+	dec := newHuffDecoder(lengths)
+	for i, want := range msg {
+		got, err := dec.decode(br)
+		if err != nil || got != want {
+			t.Fatalf("symbol %d: got %d err %v, want %d", i, got, err, want)
+		}
+	}
+}
+
+func TestHuffmanSingleSymbol(t *testing.T) {
+	freq := make([]int, numSyms)
+	freq[symEOB] = 7
+	lengths := codeLengths(freq)
+	if lengths[symEOB] != 1 {
+		t.Fatalf("single-symbol length = %d, want 1", lengths[symEOB])
+	}
+	codes := canonicalCodes(lengths)
+	bw := &bitWriter{}
+	bw.writeBits(codes[symEOB], 1)
+	dec := newHuffDecoder(lengths)
+	got, err := dec.decode(&bitReader{data: bw.flush()})
+	if err != nil || got != symEOB {
+		t.Fatalf("decode = %d, %v", got, err)
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("a"),
+		[]byte("hello, world"),
+		bytes.Repeat([]byte("the quick brown fox "), 500),
+		bytes.Repeat([]byte{0}, 100000),
+	}
+	for _, c := range cases {
+		comp := Compress(c)
+		got, err := Decompress(comp)
+		if err != nil {
+			t.Fatalf("Decompress: %v", err)
+		}
+		if !bytes.Equal(got, c) {
+			t.Fatalf("round trip of %d bytes failed", len(c))
+		}
+	}
+}
+
+func TestCompressMultiBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, BlockSize*2+12345)
+	for i := range data {
+		data[i] = byte(rng.Intn(8)) // compressible
+	}
+	comp := Compress(data)
+	if len(comp) >= len(data) {
+		t.Errorf("compressible input grew: %d -> %d", len(data), len(comp))
+	}
+	got, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("multi-block round trip failed")
+	}
+}
+
+func TestCompressionRatioOnRepetitiveInput(t *testing.T) {
+	data := bytes.Repeat([]byte("points-to "), 2000)
+	comp := Compress(data)
+	if len(comp)*10 > len(data) {
+		t.Errorf("repetitive input compressed to %d/%d — worse than 10×", len(comp), len(data))
+	}
+}
+
+func TestDecompressRejectsGarbage(t *testing.T) {
+	for _, c := range [][]byte{nil, []byte("XX"), []byte("BZG1"), []byte("BZG1\x05abc")} {
+		if _, err := Decompress(c); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+	// Bit-flip corruption in a valid stream must fail or round-trip wrong,
+	// never panic.
+	comp := Compress([]byte(strings.Repeat("abcd", 100)))
+	for i := len(magic) + 1; i < len(comp); i += 7 {
+		bad := append([]byte(nil), comp...)
+		bad[i] ^= 0x40
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on corrupt input (flip at %d): %v", i, r)
+				}
+			}()
+			_, _ = Decompress(bad)
+		}()
+	}
+}
+
+func TestQuickCompressRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		got, err := Decompress(Compress(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBWTRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		out, primary := bwt(data)
+		return bytes.Equal(unbwt(out, primary), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMTFRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		return bytes.Equal(mtfDecode(mtfEncode(data)), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,34 @@
+package bzip
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompress: arbitrary input must never panic, and valid streams must
+// round-trip exactly.
+func FuzzDecompress(f *testing.F) {
+	f.Add(Compress([]byte("hello world")))
+	f.Add(Compress(nil))
+	f.Add([]byte("BZG1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Decompress(data)
+	})
+}
+
+// FuzzRoundTrip: Compress then Decompress is the identity.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("abc"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0, 1}, 300))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decompress(Compress(data))
+		if err != nil {
+			t.Fatalf("round trip error: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip of %d bytes mismatched", len(data))
+		}
+	})
+}

@@ -1,0 +1,216 @@
+package bzip
+
+import (
+	"container/heap"
+	"errors"
+	"sort"
+)
+
+// Canonical Huffman coding over the numSyms-symbol alphabet (bytes plus
+// RUNA/RUNB/EOB). Only the code lengths are serialized; both sides rebuild
+// the same canonical codes from them.
+
+type huffNode struct {
+	weight      int
+	sym         int // -1 for internal nodes
+	left, right *huffNode
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int { return len(h) }
+func (h huffHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].sym < h[j].sym // deterministic tie-break
+}
+func (h huffHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x interface{}) { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// codeLengths computes Huffman code lengths from symbol frequencies. Absent
+// symbols get length 0. A single-symbol alphabet gets length 1.
+func codeLengths(freq []int) []byte {
+	lengths := make([]byte, len(freq))
+	var h huffHeap
+	for s, f := range freq {
+		if f > 0 {
+			h = append(h, &huffNode{weight: f, sym: s})
+		}
+	}
+	if len(h) == 0 {
+		return lengths
+	}
+	if len(h) == 1 {
+		lengths[h[0].sym] = 1
+		return lengths
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*huffNode)
+		b := heap.Pop(&h).(*huffNode)
+		heap.Push(&h, &huffNode{weight: a.weight + b.weight, sym: -1, left: a, right: b})
+	}
+	root := h[0]
+	var walk func(n *huffNode, depth byte)
+	walk = func(n *huffNode, depth byte) {
+		if n.sym >= 0 {
+			lengths[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths
+}
+
+// canonicalCodes assigns canonical codes (shorter lengths first, then
+// symbol order) from code lengths.
+func canonicalCodes(lengths []byte) []uint32 {
+	type sl struct {
+		sym int
+		l   byte
+	}
+	var syms []sl
+	for s, l := range lengths {
+		if l > 0 {
+			syms = append(syms, sl{s, l})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].l != syms[j].l {
+			return syms[i].l < syms[j].l
+		}
+		return syms[i].sym < syms[j].sym
+	})
+	codes := make([]uint32, len(lengths))
+	code := uint32(0)
+	prev := byte(0)
+	for _, s := range syms {
+		code <<= uint(s.l - prev)
+		prev = s.l
+		codes[s.sym] = code
+		code++
+	}
+	return codes
+}
+
+// huffDecoder is a simple canonical decoder: first-code/first-symbol per
+// length.
+type huffDecoder struct {
+	maxLen    int
+	firstCode []uint32 // per length
+	firstSym  []int    // index into symsByLen
+	symsByLen []int
+	countLen  []int
+}
+
+var errBadCode = errors.New("bzip: invalid Huffman code")
+
+func newHuffDecoder(lengths []byte) *huffDecoder {
+	d := &huffDecoder{}
+	for _, l := range lengths {
+		if int(l) > d.maxLen {
+			d.maxLen = int(l)
+		}
+	}
+	d.firstCode = make([]uint32, d.maxLen+2)
+	d.firstSym = make([]int, d.maxLen+2)
+	d.countLen = make([]int, d.maxLen+2)
+	type sl struct {
+		sym int
+		l   byte
+	}
+	var syms []sl
+	for s, l := range lengths {
+		if l > 0 {
+			syms = append(syms, sl{s, l})
+			d.countLen[l]++
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].l != syms[j].l {
+			return syms[i].l < syms[j].l
+		}
+		return syms[i].sym < syms[j].sym
+	})
+	for _, s := range syms {
+		d.symsByLen = append(d.symsByLen, s.sym)
+	}
+	code := uint32(0)
+	idx := 0
+	for l := 1; l <= d.maxLen; l++ {
+		code <<= 1
+		d.firstCode[l] = code
+		d.firstSym[l] = idx
+		code += uint32(d.countLen[l])
+		idx += d.countLen[l]
+	}
+	return d
+}
+
+// decode reads one symbol from br.
+func (d *huffDecoder) decode(br *bitReader) (int, error) {
+	code := uint32(0)
+	for l := 1; l <= d.maxLen; l++ {
+		b, err := br.readBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | uint32(b)
+		if d.countLen[l] > 0 && code < d.firstCode[l]+uint32(d.countLen[l]) && code >= d.firstCode[l] {
+			return d.symsByLen[d.firstSym[l]+int(code-d.firstCode[l])], nil
+		}
+	}
+	return 0, errBadCode
+}
+
+// bitWriter packs bits MSB-first.
+type bitWriter struct {
+	buf  []byte
+	cur  byte
+	nCur int
+}
+
+func (w *bitWriter) writeBits(code uint32, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.cur = w.cur<<1 | byte((code>>uint(i))&1)
+		w.nCur++
+		if w.nCur == 8 {
+			w.buf = append(w.buf, w.cur)
+			w.cur, w.nCur = 0, 0
+		}
+	}
+}
+
+func (w *bitWriter) flush() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, w.cur<<uint(8-w.nCur))
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+type bitReader struct {
+	data []byte
+	pos  int // bit position
+}
+
+var errOutOfBits = errors.New("bzip: truncated bit stream")
+
+func (r *bitReader) readBit() (byte, error) {
+	if r.pos >= len(r.data)*8 {
+		return 0, errOutOfBits
+	}
+	b := r.data[r.pos/8] >> uint(7-r.pos%8) & 1
+	r.pos++
+	return b, nil
+}

@@ -1,0 +1,135 @@
+package bzip
+
+// Move-to-front coding (the second bzip2 stage): each byte is replaced by
+// its index in a recency list, turning the locally repetitive BWT output
+// into a stream dominated by small values — mostly zeros — which the
+// zero-run coder then squeezes.
+
+// mtfEncode transforms data in place-order, returning the index stream.
+func mtfEncode(data []byte) []byte {
+	var table [256]byte
+	for i := range table {
+		table[i] = byte(i)
+	}
+	out := make([]byte, len(data))
+	for k, c := range data {
+		var idx int
+		for i, v := range table {
+			if v == c {
+				idx = i
+				break
+			}
+		}
+		out[k] = byte(idx)
+		copy(table[1:idx+1], table[:idx])
+		table[0] = c
+	}
+	return out
+}
+
+// mtfDecode inverts mtfEncode.
+func mtfDecode(data []byte) []byte {
+	var table [256]byte
+	for i := range table {
+		table[i] = byte(i)
+	}
+	out := make([]byte, len(data))
+	for k, idx := range data {
+		c := table[idx]
+		out[k] = c
+		copy(table[1:int(idx)+1], table[:idx])
+		table[0] = c
+	}
+	return out
+}
+
+// Zero-run coding with bzip2's RUNA/RUNB bijective base-2 scheme: a run of
+// z zeros becomes the digits of z+1 in binary read LSB-first, dropping the
+// leading 1 — digit 0 emits RUNA, digit 1 emits RUNB. Non-zero MTF values
+// pass through unchanged (they are already ≥ 1, so they never collide with
+// the run symbols, which we place at 256 and 257).
+const (
+	symRunA = 256
+	symRunB = 257
+	symEOB  = 258
+	numSyms = 259
+)
+
+func rleEncode(mtf []byte) []uint16 {
+	var out []uint16
+	emitRun := func(z int) {
+		// Bijective base-2: z >= 1.
+		for z > 0 {
+			if z&1 == 1 {
+				out = append(out, symRunA)
+				z = (z - 1) / 2
+			} else {
+				out = append(out, symRunB)
+				z = (z - 2) / 2
+			}
+		}
+	}
+	run := 0
+	for _, v := range mtf {
+		if v == 0 {
+			run++
+			continue
+		}
+		if run > 0 {
+			emitRun(run)
+			run = 0
+		}
+		out = append(out, uint16(v))
+	}
+	if run > 0 {
+		emitRun(run)
+	}
+	out = append(out, symEOB)
+	return out
+}
+
+// rleDecode inverts rleEncode. maxLen caps the decoded length: RUNA/RUNB
+// digits grow runs exponentially (a k-digit run encodes ≈2^k zeros), so a
+// corrupt stream could otherwise demand gigabytes before any other check
+// fires.
+func rleDecode(syms []uint16, maxLen int) ([]byte, bool) {
+	var out []byte
+	run := 0  // accumulated zero count
+	mult := 1 // weight of the next RUNA/RUNB digit
+	flush := func() bool {
+		if run > maxLen-len(out) {
+			return false
+		}
+		for i := 0; i < run; i++ {
+			out = append(out, 0)
+		}
+		run, mult = 0, 1
+		return true
+	}
+	for _, s := range syms {
+		switch {
+		case s == symRunA:
+			run += mult
+			mult *= 2
+		case s == symRunB:
+			run += 2 * mult
+			mult *= 2
+		case s == symEOB:
+			if !flush() {
+				return nil, false
+			}
+			return out, true
+		case s > 0 && s < 256:
+			if !flush() || len(out) >= maxLen {
+				return nil, false
+			}
+			out = append(out, byte(s))
+		default:
+			return nil, false // symbol 0 or out of range: corrupt stream
+		}
+		if run > maxLen {
+			return nil, false
+		}
+	}
+	return nil, false // missing EOB
+}

@@ -1,0 +1,211 @@
+// Package clients implements the two analysis clients the paper motivates
+// persistence with (§1, scenario 1): a static race detector in the style
+// of Naik et al. (conflicting-access pairs via aliasing base pointers,
+// §7.1.1) and a static memory-leak detector in the style of value-flow
+// leak analysis (allocation sites unreachable from live roots). Both run
+// off the *same* persisted pointer information, demonstrating the
+// pipelined-bug-detection workflow where the points-to analysis cost is
+// paid once.
+package clients
+
+import (
+	"fmt"
+	"sort"
+
+	"pestrie/internal/anders"
+	"pestrie/internal/ir"
+)
+
+// Queries is the slice of persisted pointer information the clients
+// consume (satisfied by core.Index, bitenc.Encoding via an adapter, etc.).
+type Queries interface {
+	IsAlias(p, q int) bool
+	ListAliases(p int) []int
+	ListPointsTo(p int) []int
+	ListPointedBy(o int) []int
+}
+
+// Access is one heap access: the statement performing it, its base
+// pointer, and whether it writes.
+type Access struct {
+	Func    string
+	Stmt    int
+	Base    string // base pointer variable name
+	BaseID  int    // matrix pointer ID
+	IsWrite bool
+}
+
+func (a Access) String() string {
+	op := "read"
+	if a.IsWrite {
+		op = "write"
+	}
+	return fmt.Sprintf("%s:%d %s *%s", a.Func, a.Stmt, op, a.Base)
+}
+
+// CollectAccesses extracts every load and store from the program, resolving
+// base pointers through the analysis result. Accesses whose base pointer
+// is unknown to the analysis are skipped.
+func CollectAccesses(prog *ir.Program, res *anders.Result) []Access {
+	var out []Access
+	for _, f := range prog.Funcs {
+		f := f
+		i := -1 // pre-order statement number, branch arms included
+		ir.Walk(f.Body, func(st *ir.Stmt) {
+			i++
+			switch st.Kind {
+			case ir.Load:
+				if id := res.PointerID(f.Name + "." + st.Src); id >= 0 {
+					out = append(out, Access{Func: f.Name, Stmt: i, Base: st.Src, BaseID: id})
+				}
+			case ir.Store:
+				if id := res.PointerID(f.Name + "." + st.Dst); id >= 0 {
+					out = append(out, Access{Func: f.Name, Stmt: i, Base: st.Dst, BaseID: id, IsWrite: true})
+				}
+			}
+		})
+	}
+	return out
+}
+
+// RacePair is a potentially conflicting pair of accesses: different
+// statements, at least one write, and aliasing base pointers.
+type RacePair struct {
+	A, B Access
+}
+
+// FindRaces enumerates all conflicting access pairs using per-base
+// ListAliases — the fast method of §7.1.1. Pairs are reported with A
+// preceding B in collection order.
+func FindRaces(accesses []Access, q Queries) []RacePair {
+	// Group accesses by base pointer so each ListAliases result is used
+	// for every access sharing the base.
+	byBase := map[int][]int{} // base pointer -> access indices
+	for i, a := range accesses {
+		byBase[a.BaseID] = append(byBase[a.BaseID], i)
+	}
+	aliasedBases := map[int]map[int]bool{}
+	bases := make([]int, 0, len(byBase))
+	for b := range byBase {
+		bases = append(bases, b)
+	}
+	sort.Ints(bases)
+	for _, b := range bases {
+		set := map[int]bool{b: true} // same-base accesses conflict too
+		for _, other := range q.ListAliases(b) {
+			if _, ok := byBase[other]; ok {
+				set[other] = true
+			}
+		}
+		aliasedBases[b] = set
+	}
+
+	var out []RacePair
+	for i := 0; i < len(accesses); i++ {
+		for j := i + 1; j < len(accesses); j++ {
+			a, b := accesses[i], accesses[j]
+			if !a.IsWrite && !b.IsWrite {
+				continue
+			}
+			if aliasedBases[a.BaseID][b.BaseID] {
+				out = append(out, RacePair{A: a, B: b})
+			}
+		}
+	}
+	return out
+}
+
+// FindRacesDemand is the slow method of §7.1.1: all pairs with IsAlias.
+// It must agree with FindRaces; the benchmarks compare their cost.
+func FindRacesDemand(accesses []Access, q Queries) []RacePair {
+	var out []RacePair
+	for i := 0; i < len(accesses); i++ {
+		for j := i + 1; j < len(accesses); j++ {
+			a, b := accesses[i], accesses[j]
+			if !a.IsWrite && !b.IsWrite {
+				continue
+			}
+			if q.IsAlias(a.BaseID, b.BaseID) {
+				out = append(out, RacePair{A: a, B: b})
+			}
+		}
+	}
+	return out
+}
+
+// Leak is an allocation site unreachable from any root pointer.
+type Leak struct {
+	Object int
+	Site   string
+}
+
+// FindLeaks reports allocation sites not transitively reachable from the
+// given root pointers through the persisted points-to information: an
+// object is live if a root may point to it, or if a live object's heap
+// cell may point to it (the heap cells are the "@heap.<site>" pointers the
+// analysis exports). Everything else has no referencing path from the
+// roots — a static leak in the value-flow sense.
+func FindLeaks(res *anders.Result, q Queries, roots []int) []Leak {
+	live := map[int]bool{}
+	var work []int
+	markPointer := func(p int) {
+		for _, o := range q.ListPointsTo(p) {
+			if !live[o] {
+				live[o] = true
+				work = append(work, o)
+			}
+		}
+	}
+	for _, r := range roots {
+		markPointer(r)
+	}
+	for len(work) > 0 {
+		o := work[len(work)-1]
+		work = work[:len(work)-1]
+		if hp := res.PointerID("@heap." + res.ObjectNames[o]); hp >= 0 {
+			markPointer(hp)
+		}
+	}
+	var out []Leak
+	for o, name := range res.ObjectNames {
+		if !live[o] {
+			out = append(out, Leak{Object: o, Site: name})
+		}
+	}
+	return out
+}
+
+// MainRoots returns the pointer IDs of every local in the given function —
+// the conventional root set for exit-time leak checking.
+func MainRoots(prog *ir.Program, res *anders.Result, fn string) []int {
+	f := prog.Func(fn)
+	if f == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var names []string
+	add := func(v string) {
+		if v != "" && !seen[v] {
+			seen[v] = true
+			names = append(names, v)
+		}
+	}
+	for _, param := range f.Params {
+		add(param)
+	}
+	ir.Walk(f.Body, func(st *ir.Stmt) {
+		add(st.Dst)
+		add(st.Src)
+		for _, a := range st.Args {
+			add(a)
+		}
+	})
+	var out []int
+	for _, v := range names {
+		if id := res.PointerID(fn + "." + v); id >= 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

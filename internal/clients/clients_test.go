@@ -1,0 +1,189 @@
+package clients
+
+import (
+	"strings"
+	"testing"
+
+	"pestrie/internal/anders"
+	"pestrie/internal/core"
+	"pestrie/internal/ir"
+)
+
+func setup(t *testing.T, src string) (*ir.Program, *anders.Result, *core.Index) {
+	t.Helper()
+	prog, err := ir.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := anders.Analyze(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, res, core.Build(res.PM, nil).Index()
+}
+
+const raceSrc = `
+func main() {
+  p = alloc Shared
+  q = p
+  r = alloc Private
+  x = alloc Val
+  *p = x
+  y = *q
+  *r = x
+}
+`
+
+func TestCollectAccesses(t *testing.T) {
+	prog, res, _ := setup(t, raceSrc)
+	acc := CollectAccesses(prog, res)
+	// Accesses: *p= (store), =*q (load), *r= (store).
+	if len(acc) != 3 {
+		t.Fatalf("accesses = %v", acc)
+	}
+	if !acc[0].IsWrite || acc[1].IsWrite || !acc[2].IsWrite {
+		t.Fatalf("write flags wrong: %v", acc)
+	}
+	if acc[0].String() != "main:4 write *p" {
+		t.Fatalf("String = %q", acc[0].String())
+	}
+}
+
+func TestFindRaces(t *testing.T) {
+	prog, res, idx := setup(t, raceSrc)
+	acc := CollectAccesses(prog, res)
+	races := FindRaces(acc, idx)
+	// (*p=, =*q) conflict: p and q alias, one write. (*p=, *r=) and
+	// (=*q, *r=) do not: Private is separate.
+	if len(races) != 1 {
+		t.Fatalf("races = %v", races)
+	}
+	if races[0].A.Base != "p" || races[0].B.Base != "q" {
+		t.Fatalf("wrong pair: %v", races[0])
+	}
+}
+
+func TestFindRacesMethodsAgree(t *testing.T) {
+	prog := ir.Generate(ir.GenOptions{Funcs: 8, VarsPerFunc: 6, StmtsPerFunc: 20, Seed: 9})
+	res, err := anders.Analyze(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := core.Build(res.PM, nil).Index()
+	acc := CollectAccesses(prog, res)
+	fast := FindRaces(acc, idx)
+	slow := FindRacesDemand(acc, idx)
+	if len(fast) != len(slow) {
+		t.Fatalf("methods disagree: %d vs %d pairs", len(fast), len(slow))
+	}
+	for i := range fast {
+		if fast[i] != slow[i] {
+			t.Fatalf("pair %d differs: %v vs %v", i, fast[i], slow[i])
+		}
+	}
+}
+
+func TestReadReadPairsIgnored(t *testing.T) {
+	prog, res, idx := setup(t, `
+func main() {
+  p = alloc A
+  q = p
+  x = *p
+  y = *q
+}
+`)
+	races := FindRaces(CollectAccesses(prog, res), idx)
+	if len(races) != 0 {
+		t.Fatalf("read-read reported as race: %v", races)
+	}
+}
+
+func TestSameBaseWriteConflicts(t *testing.T) {
+	prog, res, idx := setup(t, `
+func main() {
+  p = alloc A
+  v = alloc V
+  *p = v
+  *p = v
+}
+`)
+	races := FindRaces(CollectAccesses(prog, res), idx)
+	if len(races) != 1 {
+		t.Fatalf("same-base write pair missed: %v", races)
+	}
+}
+
+const leakSrc = `
+func stash(s, v) {
+  *s = v
+  return v
+}
+func main() {
+  keep = alloc Kept
+  box = alloc Box
+  tmp = call stash(box, keep)
+  lost = alloc Lost
+  lost = alloc Lost2
+}
+`
+
+func TestFindLeaks(t *testing.T) {
+	prog, res, idx := setup(t, leakSrc)
+	roots := MainRoots(prog, res, "main")
+	if len(roots) == 0 {
+		t.Fatal("no roots")
+	}
+	leaks := FindLeaks(res, idx, roots)
+	byName := map[string]bool{}
+	for _, l := range leaks {
+		byName[l.Site] = true
+	}
+	// The analysis is flow-insensitive, so "lost" still roots Lost and
+	// Lost2 — nothing leaks with main's locals as roots.
+	if len(leaks) != 0 {
+		t.Fatalf("unexpected leaks: %v", leaks)
+	}
+	// With only "keep" as root, Box/Lost/Lost2 are unreachable but Kept
+	// is live (and heap traversal keeps anything Kept's cell references).
+	keepOnly := []int{res.PointerID("main.keep")}
+	leaks = FindLeaks(res, idx, keepOnly)
+	byName = map[string]bool{}
+	for _, l := range leaks {
+		byName[l.Site] = true
+	}
+	if byName["Kept"] {
+		t.Fatal("live object reported as leak")
+	}
+	for _, want := range []string{"Box", "Lost", "Lost2"} {
+		if !byName[want] {
+			t.Fatalf("missed leak %s (got %v)", want, leaks)
+		}
+	}
+}
+
+func TestFindLeaksHeapTraversal(t *testing.T) {
+	// keep -> Box; Box's cell -> Inner: Inner must be live through the
+	// heap even though no local points to it at the end.
+	prog, res, idx := setup(t, `
+func main() {
+  keep = alloc Box
+  inner = alloc Inner
+  *keep = inner
+  inner = alloc Overwrite
+}
+`)
+	_ = prog
+	leaks := FindLeaks(res, idx, []int{res.PointerID("main.keep")})
+	for _, l := range leaks {
+		if l.Site == "Inner" {
+			t.Fatal("heap-reachable object reported as leak")
+		}
+	}
+}
+
+func TestMainRootsMissingFunction(t *testing.T) {
+	prog, res, _ := setup(t, "func main() {\n a = alloc A\n}\n")
+	if MainRoots(prog, res, "nope") != nil {
+		t.Fatal("roots for missing function")
+	}
+}

@@ -1,0 +1,201 @@
+// Package compose links separately persisted pointer information — the
+// library pre-analysis scenario of §1 and the stated future work of §9
+// ("applying persistence technique to pre-compute pointer information for
+// libraries"). A library's points-to relation, persisted once per release,
+// is combined with a client's relation over the same object namespace; the
+// combined view answers all Table-1 queries across the boundary without
+// re-running the analysis on the library.
+//
+// Pointer ID spaces are disjoint: the combined ID of a library pointer is
+// its library ID, and a client pointer's combined ID is offset by the
+// library's pointer count. Object IDs are shared; the client may know more
+// objects than the library (its own allocation sites).
+package compose
+
+import (
+	"fmt"
+
+	"pestrie/internal/core"
+)
+
+// Part is one side of a composition. core.Index satisfies it; so does
+// Combined itself, allowing more than two fragments to be linked by
+// folding.
+type Part interface {
+	IsAlias(p, q int) bool
+	ListAliases(p int) []int
+	ListPointsTo(p int) []int
+	ListPointedBy(o int) []int
+	PointsTo(p, o int) bool
+}
+
+// Combined is the linked view over a library part and a client part.
+type Combined struct {
+	lib, client Part
+
+	libPointers    int
+	clientPointers int
+	numObjects     int
+}
+
+var _ Part = (*core.Index)(nil)
+var _ Part = (*Combined)(nil)
+
+// New links a library index with a client index. The parts must agree on
+// the object namespace: the client's objects extend the library's (shared
+// IDs below lib's object count, client-private IDs above).
+func New(lib, client *core.Index) (*Combined, error) {
+	if lib == nil || client == nil {
+		return nil, fmt.Errorf("compose: nil part")
+	}
+	if client.NumObjects < lib.NumObjects {
+		return nil, fmt.Errorf("compose: client knows %d objects but library has %d — namespaces disagree",
+			client.NumObjects, lib.NumObjects)
+	}
+	return &Combined{
+		lib:            lib,
+		client:         client,
+		libPointers:    lib.NumPointers,
+		clientPointers: client.NumPointers,
+		numObjects:     client.NumObjects,
+	}, nil
+}
+
+// NewNested links an already-combined part with a further client fragment.
+func NewNested(lib *Combined, client *core.Index, libObjects int) (*Combined, error) {
+	if lib == nil || client == nil {
+		return nil, fmt.Errorf("compose: nil part")
+	}
+	if client.NumObjects < libObjects {
+		return nil, fmt.Errorf("compose: client objects %d below library objects %d",
+			client.NumObjects, libObjects)
+	}
+	return &Combined{
+		lib:            lib,
+		client:         client,
+		libPointers:    lib.NumPointers(),
+		clientPointers: client.NumPointers,
+		numObjects:     client.NumObjects,
+	}, nil
+}
+
+// NumPointers returns the combined pointer count.
+func (c *Combined) NumPointers() int { return c.libPointers + c.clientPointers }
+
+// NumObjects returns the combined object count.
+func (c *Combined) NumObjects() int { return c.numObjects }
+
+// LibraryPointer converts a library-local pointer ID to a combined ID.
+func (c *Combined) LibraryPointer(p int) int { return p }
+
+// ClientPointer converts a client-local pointer ID to a combined ID.
+func (c *Combined) ClientPointer(p int) int { return c.libPointers + p }
+
+// split resolves a combined pointer ID to (part, local ID); part is nil
+// for out-of-range IDs.
+func (c *Combined) split(p int) (Part, int) {
+	switch {
+	case p < 0:
+		return nil, 0
+	case p < c.libPointers:
+		return c.lib, p
+	case p < c.libPointers+c.clientPointers:
+		return c.client, p - c.libPointers
+	default:
+		return nil, 0
+	}
+}
+
+// PointsTo reports whether combined pointer p may point to object o.
+func (c *Combined) PointsTo(p, o int) bool {
+	part, local := c.split(p)
+	if part == nil {
+		return false
+	}
+	return part.PointsTo(local, o)
+}
+
+// ListPointsTo returns the points-to set of combined pointer p.
+func (c *Combined) ListPointsTo(p int) []int {
+	part, local := c.split(p)
+	if part == nil {
+		return nil
+	}
+	return part.ListPointsTo(local)
+}
+
+// ListPointedBy returns the combined pointers that may point to o.
+func (c *Combined) ListPointedBy(o int) []int {
+	if o < 0 || o >= c.numObjects {
+		return nil
+	}
+	var out []int
+	out = append(out, c.lib.ListPointedBy(o)...)
+	for _, p := range c.client.ListPointedBy(o) {
+		out = append(out, c.libPointers+p)
+	}
+	return out
+}
+
+// IsAlias reports aliasing between combined pointers. Same-side pairs
+// delegate to the part (O(log n)); cross-boundary pairs intersect through
+// the shared objects: walk the smaller points-to set and probe the other
+// side's O(log n) membership test.
+func (c *Combined) IsAlias(p, q int) bool {
+	pp, lp := c.split(p)
+	pq, lq := c.split(q)
+	if pp == nil || pq == nil {
+		return false
+	}
+	if pp == pq {
+		return pp.IsAlias(lp, lq)
+	}
+	ptsP := pp.ListPointsTo(lp)
+	ptsQ := pq.ListPointsTo(lq)
+	if len(ptsQ) < len(ptsP) {
+		ptsP, pq, lq = ptsQ, pp, lp
+	}
+	for _, o := range ptsP {
+		if pq.PointsTo(lq, o) {
+			return true
+		}
+	}
+	return false
+}
+
+// ListAliases returns the combined pointers aliased to p (excluding p):
+// the part-local aliases plus, through each pointed-to object, the other
+// side's pointed-by sets.
+func (c *Combined) ListAliases(p int) []int {
+	pp, lp := c.split(p)
+	if pp == nil {
+		return nil
+	}
+	var out []int
+	other := c.client
+	toCombined := func(q int) int { return c.libPointers + q }
+	if pp == c.client {
+		other = c.lib
+		toCombined = func(q int) int { return q }
+	}
+	// Same-side aliases.
+	if pp == c.lib {
+		out = append(out, pp.ListAliases(lp)...)
+	} else {
+		for _, q := range pp.ListAliases(lp) {
+			out = append(out, c.libPointers+q)
+		}
+	}
+	// Cross-boundary aliases, deduplicated.
+	seen := map[int]bool{}
+	for _, o := range pp.ListPointsTo(lp) {
+		for _, q := range other.ListPointedBy(o) {
+			id := toCombined(q)
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package compose
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pestrie/internal/core"
+	"pestrie/internal/matrix"
+)
+
+// splitMatrix cuts a whole-program matrix into a "library" fragment (the
+// first libPtrs rows over the first libObjs columns — library relations
+// must be client-independent) and a "client" fragment (the remaining rows
+// over all columns). Facts from library pointers to client-private objects
+// are impossible by construction of the tests.
+func splitMatrix(pm *matrix.PointsTo, libPtrs, libObjs int) (lib, client *matrix.PointsTo) {
+	lib = matrix.New(libPtrs, libObjs)
+	client = matrix.New(pm.NumPointers-libPtrs, pm.NumObjects)
+	for p := 0; p < pm.NumPointers; p++ {
+		pm.Row(p).ForEach(func(o int) bool {
+			if p < libPtrs {
+				lib.Add(p, o)
+			} else {
+				client.Add(p-libPtrs, o)
+			}
+			return true
+		})
+	}
+	return lib, client
+}
+
+// randomSplitPM builds a whole-program matrix where the first libPtrs
+// pointers only touch the first libObjs objects.
+func randomSplitPM(rng *rand.Rand, np, no, libPtrs, libObjs, edges int) *matrix.PointsTo {
+	pm := matrix.New(np, no)
+	for i := 0; i < edges; i++ {
+		p := rng.Intn(np)
+		if p < libPtrs {
+			pm.Add(p, rng.Intn(libObjs))
+		} else {
+			pm.Add(p, rng.Intn(no))
+		}
+	}
+	return pm
+}
+
+func sorted(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func combinedOf(t *testing.T, pm *matrix.PointsTo, libPtrs, libObjs int) *Combined {
+	t.Helper()
+	lib, client := splitMatrix(pm, libPtrs, libObjs)
+	c, err := New(core.Build(lib, nil).Index(), core.Build(client, nil).Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func checkAgainstWhole(t *testing.T, c *Combined, pm *matrix.PointsTo) {
+	t.Helper()
+	pmt := pm.Transpose()
+	for p := 0; p < pm.NumPointers; p++ {
+		if got, want := sorted(c.ListPointsTo(p)), pm.Row(p).Members(); !sameInts(got, want) {
+			t.Fatalf("ListPointsTo(%d) = %v, want %v", p, got, want)
+		}
+		var aliases []int
+		for q := 0; q < pm.NumPointers; q++ {
+			want := pm.Row(p).Intersects(pm.Row(q))
+			if c.IsAlias(p, q) != want {
+				t.Fatalf("IsAlias(%d,%d) != %v", p, q, want)
+			}
+			if q != p && want {
+				aliases = append(aliases, q)
+			}
+		}
+		if got := sorted(c.ListAliases(p)); !sameInts(got, aliases) {
+			t.Fatalf("ListAliases(%d) = %v, want %v", p, got, aliases)
+		}
+		for o := 0; o < pm.NumObjects; o++ {
+			if c.PointsTo(p, o) != pm.Has(p, o) {
+				t.Fatalf("PointsTo(%d,%d) != %v", p, o, pm.Has(p, o))
+			}
+		}
+	}
+	for o := 0; o < pm.NumObjects; o++ {
+		if got, want := sorted(c.ListPointedBy(o)), pmt.Row(o).Members(); !sameInts(got, want) {
+			t.Fatalf("ListPointedBy(%d) = %v, want %v", o, got, want)
+		}
+	}
+}
+
+func TestCombinedSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pm := randomSplitPM(rng, 20, 10, 8, 6, 80)
+	c := combinedOf(t, pm, 8, 6)
+	if c.NumPointers() != 20 || c.NumObjects() != 10 {
+		t.Fatalf("dims %d/%d", c.NumPointers(), c.NumObjects())
+	}
+	checkAgainstWhole(t, c, pm)
+}
+
+func TestCombinedIDMapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pm := randomSplitPM(rng, 12, 6, 5, 4, 40)
+	c := combinedOf(t, pm, 5, 4)
+	if c.LibraryPointer(3) != 3 {
+		t.Fatal("library mapping wrong")
+	}
+	if c.ClientPointer(0) != 5 {
+		t.Fatal("client mapping wrong")
+	}
+}
+
+func TestCombinedOutOfRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pm := randomSplitPM(rng, 10, 5, 4, 3, 30)
+	c := combinedOf(t, pm, 4, 3)
+	if c.IsAlias(-1, 0) || c.IsAlias(0, 10) || c.PointsTo(10, 0) {
+		t.Fatal("out-of-range query true")
+	}
+	if c.ListPointsTo(-1) != nil || c.ListAliases(99) != nil || c.ListPointedBy(-1) != nil {
+		t.Fatal("out-of-range list returned data")
+	}
+}
+
+func TestNewRejectsMismatchedNamespaces(t *testing.T) {
+	lib := core.Build(matrix.New(2, 5), nil).Index()
+	client := core.Build(matrix.New(2, 3), nil).Index()
+	if _, err := New(lib, client); err == nil {
+		t.Fatal("accepted client with fewer objects than library")
+	}
+	if _, err := New(nil, client); err == nil {
+		t.Fatal("accepted nil part")
+	}
+}
+
+func TestQuickCombinedMatchesWholeProgram(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		no := 2 + rng.Intn(12)
+		libObjs := 1 + rng.Intn(no)
+		np := 2 + rng.Intn(25)
+		libPtrs := rng.Intn(np)
+		pm := randomSplitPM(rng, np, no, libPtrs, libObjs, rng.Intn(120))
+		lib, client := splitMatrix(pm, libPtrs, libObjs)
+		c, err := New(core.Build(lib, nil).Index(), core.Build(client, nil).Index())
+		if err != nil {
+			return false
+		}
+		pmt := pm.Transpose()
+		for p := 0; p < np; p++ {
+			for q := 0; q < np; q++ {
+				if c.IsAlias(p, q) != pm.Row(p).Intersects(pm.Row(q)) {
+					return false
+				}
+			}
+			if !sameInts(sorted(c.ListPointsTo(p)), pm.Row(p).Members()) {
+				return false
+			}
+		}
+		for o := 0; o < no; o++ {
+			if !sameInts(sorted(c.ListPointedBy(o)), pmt.Row(o).Members()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedComposition(t *testing.T) {
+	// Three fragments: lib, middleware, app — linked by folding.
+	rng := rand.New(rand.NewSource(4))
+	pm := randomSplitPM(rng, 24, 12, 8, 6, 100)
+	// Treat pointers [8,16) as middleware touching objects < 9, and
+	// rebuild the matrix so the layering holds.
+	pm2 := matrix.New(24, 12)
+	for p := 0; p < 24; p++ {
+		pm.Row(p).ForEach(func(o int) bool {
+			switch {
+			case p < 8 && o < 6:
+				pm2.Add(p, o)
+			case p >= 8 && p < 16:
+				pm2.Add(p, o%9)
+			case p >= 16:
+				pm2.Add(p, o)
+			}
+			return true
+		})
+	}
+	libM, restM := splitMatrix(pm2, 8, 6)
+	// Split rest into middleware (first 8 rows, 9 objects) and app.
+	midM := matrix.New(8, 9)
+	appM := matrix.New(8, 12)
+	for p := 0; p < restM.NumPointers; p++ {
+		restM.Row(p).ForEach(func(o int) bool {
+			if p < 8 {
+				midM.Add(p, o)
+			} else {
+				appM.Add(p-8, o)
+			}
+			return true
+		})
+	}
+	inner, err := New(core.Build(libM, nil).Index(), core.Build(midM, nil).Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := NewNested(inner, core.Build(appM, nil).Index(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outer.NumPointers() != 24 || outer.NumObjects() != 12 {
+		t.Fatalf("dims %d/%d", outer.NumPointers(), outer.NumObjects())
+	}
+	checkAgainstWhole(t, outer, pm2)
+	// Mismatched nesting rejected.
+	if _, err := NewNested(inner, core.Build(matrix.New(1, 3), nil).Index(), 9); err == nil {
+		t.Fatal("accepted nested client with too few objects")
+	}
+}

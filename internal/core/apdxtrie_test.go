@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pestrie/internal/matrix"
+)
+
+// Appendix A.2 relates Pestrie to the standard Trie: build Tstd by
+// inserting the rows of PMT as records (attributes tested in the object
+// order), and Lemma 3 states that after processing the j-th row, the
+// number of Pestrie cross edges equals the number of Trie edges minus j.
+// Since the optimal-Trie problem is NP-hard (Comer & Sethi), so is optimal
+// Pestrie construction (Theorem 4). This file reproduces the construction
+// of Figure 8 and property-tests the lemma.
+
+// stdTrieEdges builds the standard Trie per Appendix A.2 and returns its
+// edge count (nodes excluding the root).
+func stdTrieEdges(pm *matrix.PointsTo, order []int) int {
+	type node struct {
+		children map[int]*node // keyed by object (attribute)
+	}
+	newNode := func() *node { return &node{children: map[int]*node{}} }
+	root := newNode()
+	edges := 0
+
+	pmt := pm.Transpose()
+	tailPtr := map[int]*node{} // pointer -> tail node
+	tailObj := map[int]*node{} // object -> tail node
+	step := func(tail map[int]*node, key int, oi int) {
+		old, ok := tail[key]
+		if !ok {
+			old = root
+		}
+		next, ok := old.children[oi]
+		if !ok {
+			next = newNode()
+			old.children[oi] = next
+			edges++
+		}
+		tail[key] = next
+	}
+	for _, oi := range order {
+		pmt.Row(oi).ForEach(func(p int) bool {
+			step(tailPtr, p, oi)
+			return true
+		})
+		// "we process oi in the same manner as a pointer".
+		step(tailObj, oi, oi)
+	}
+	return edges
+}
+
+func TestLemma3PaperExample(t *testing.T) {
+	pm := paperPM()
+	trie := Build(pm, &Options{Order: paperOrder})
+	edges := stdTrieEdges(pm, paperOrder)
+	// Lemma 3 with j = m = 5 rows: |Gpes| = |Tstd| − m.
+	if trie.CrossEdges != edges-pm.NumObjects {
+		t.Fatalf("cross edges %d != trie edges %d − %d objects",
+			trie.CrossEdges, edges, pm.NumObjects)
+	}
+}
+
+func TestQuickLemma3(t *testing.T) {
+	// The correspondence must hold for every matrix and every order —
+	// this is what makes OPC as hard as optimal Trie construction.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		np, no := 1+rng.Intn(30), 1+rng.Intn(15)
+		pm := randomPM(rng, np, no, rng.Intn(200))
+		order := randomOrder(rng, no)
+		trie := Build(pm, &Options{Order: order})
+		return trie.CrossEdges == stdTrieEdges(pm, order)-no
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLemma3Prefixes(t *testing.T) {
+	// The lemma is stated per prefix: after the j-th row,
+	// |Gpes| = |Tstd| − j. Check every prefix of the paper's order by
+	// restricting the matrix to the first j objects.
+	pm := paperPM()
+	for j := 1; j <= pm.NumObjects; j++ {
+		order := paperOrder[:j]
+		sub := matrix.New(pm.NumPointers, pm.NumObjects)
+		for _, o := range order {
+			pm.Transpose().Row(o).ForEach(func(p int) bool {
+				sub.Add(p, o)
+				return true
+			})
+		}
+		// Build needs a full permutation; put the unused objects last —
+		// their rows are empty, adding one origin each and no cross
+		// edges or trie edges beyond the object spine.
+		full := append(append([]int(nil), order...), rest(order, pm.NumObjects)...)
+		trie := Build(sub, &Options{Order: full})
+		edges := stdTrieEdges(sub, full)
+		if trie.CrossEdges != edges-pm.NumObjects {
+			t.Fatalf("prefix %d: cross %d, trie edges %d", j, trie.CrossEdges, edges)
+		}
+	}
+}
+
+func rest(order []int, m int) []int {
+	used := map[int]bool{}
+	for _, o := range order {
+		used[o] = true
+	}
+	var out []int
+	for o := 0; o < m; o++ {
+		if !used[o] {
+			out = append(out, o)
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// The Index is immutable after construction, so any number of goroutines
+// may query it concurrently — the property query-intensive clients (race
+// detectors sharding work across cores) rely on. This test drives all
+// query types from many goroutines under -race.
+func TestIndexConcurrentQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pm := randomPM(rng, 200, 40, 1500)
+	ix := Build(pm, nil).Index()
+
+	// Reference answers, computed single-threaded.
+	type key struct{ p, q int }
+	want := map[key]bool{}
+	for p := 0; p < 200; p += 3 {
+		for q := 0; q < 200; q += 7 {
+			want[key{p, q}] = pm.Row(p).Intersects(pm.Row(q))
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for p := 0; p < 200; p += 3 {
+				for q := 0; q < 200; q += 7 {
+					if ix.IsAlias(p, q) != want[key{p, q}] {
+						select {
+						case errs <- "IsAlias mismatch under concurrency":
+						default:
+						}
+						return
+					}
+				}
+				ix.ListAliases(p)
+				ix.ListPointsTo(p)
+			}
+			for o := w; o < 40; o += 8 {
+				ix.ListPointedBy(o)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"pestrie/internal/matrix"
+)
+
+// TestExhaustiveSmallMatrices enumerates EVERY 3×3 points-to matrix (512)
+// under EVERY object order (6) and checks all four queries against brute
+// force, including the file round trip — 3072 complete builds. Combined
+// with the randomized property tests this pins the construction on the
+// full space of small inputs, where off-by-one ξ/interval bugs live.
+func TestExhaustiveSmallMatrices(t *testing.T) {
+	orders := [][]int{
+		{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+	}
+	for mask := 0; mask < 1<<9; mask++ {
+		pm := matrix.New(3, 3)
+		for bit := 0; bit < 9; bit++ {
+			if mask&(1<<bit) != 0 {
+				pm.Add(bit/3, bit%3)
+			}
+		}
+		for _, order := range orders {
+			trie := Build(pm, &Options{Order: order})
+			if !indexMatches(trie.Index(), pm) {
+				t.Fatalf("mask %09b order %v: direct index wrong", mask, order)
+			}
+			// Round trip through the file for a subset (every 8th mask)
+			// to keep the test fast while still covering bytes-level
+			// decoding across shapes.
+			if mask%8 == 0 {
+				var buf bytes.Buffer
+				if _, err := trie.WriteTo(&buf); err != nil {
+					t.Fatal(err)
+				}
+				ix, err := Load(&buf)
+				if err != nil {
+					t.Fatalf("mask %09b order %v: %v", mask, order, err)
+				}
+				if !indexMatches(ix, pm) {
+					t.Fatalf("mask %09b order %v: loaded index wrong", mask, order)
+				}
+				if !ix.RecoverMatrix().Equal(pm) {
+					t.Fatalf("mask %09b order %v: recovery wrong", mask, order)
+				}
+			}
+		}
+	}
+}
+
+// TestExhaustiveTheorem1 checks ξ-reachability on every 2×4 matrix (256)
+// with both extreme orders.
+func TestExhaustiveTheorem1(t *testing.T) {
+	for mask := 0; mask < 1<<8; mask++ {
+		pm := matrix.New(2, 4)
+		for bit := 0; bit < 8; bit++ {
+			if mask&(1<<bit) != 0 {
+				pm.Add(bit/4, bit%4)
+			}
+		}
+		for _, order := range [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}} {
+			trie := Build(pm, &Options{Order: order})
+			for o := 0; o < 4; o++ {
+				reach := trie.xiReachablePointers(o)
+				for p := 0; p < 2; p++ {
+					if reach[p] != pm.Has(p, o) {
+						t.Fatalf("mask %08b order %v: ξ(%d,%d)", mask, order, o, p)
+					}
+				}
+			}
+		}
+	}
+}

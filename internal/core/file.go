@@ -1,0 +1,280 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"pestrie/internal/segtree"
+)
+
+// Persistent file format ("PES1"), following Figure 5 of the paper:
+//
+//	magic "PES1", uvarint version
+//	uvarint numPointers, numObjects, numGroups
+//	numPointers × uvarint(timestamp+1)   // 0 encodes "unplaced"
+//	numObjects  × uvarint(timestamp)
+//	8 sections: {point, vline, hline, rect} × {case-1, case-2}
+//	  each: uvarint count, then entries sorted by (X1, Y1) with X1
+//	  delta-coded against the previous entry and widths/heights coded as
+//	  differences — points need 2 integers and lines 3, which is where the
+//	  paper's shape split saves space over uniform 4-integer rectangles.
+const (
+	fileMagic   = "PES1"
+	fileVersion = 1
+)
+
+type shapeClass int
+
+const (
+	shapePoint shapeClass = iota
+	shapeVLine
+	shapeHLine
+	shapeRect
+	numShapes
+)
+
+func classify(r segtree.Rect) shapeClass {
+	switch {
+	case r.IsPoint():
+		return shapePoint
+	case r.IsVLine():
+		return shapeVLine
+	case r.IsHLine():
+		return shapeHLine
+	default:
+		return shapeRect
+	}
+}
+
+type fileWriter struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+func (fw *fileWriter) uvarint(v uint64) {
+	if fw.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(buf[:], v)
+	n, err := fw.w.Write(buf[:k])
+	fw.n += int64(n)
+	fw.err = err
+}
+
+func (fw *fileWriter) bytes(b []byte) {
+	if fw.err != nil {
+		return
+	}
+	n, err := fw.w.Write(b)
+	fw.n += int64(n)
+	fw.err = err
+}
+
+// WriteTo writes the Pestrie persistent file and returns the bytes written.
+func (t *Trie) WriteTo(w io.Writer) (int64, error) {
+	fw := &fileWriter{w: bufio.NewWriter(w)}
+	fw.bytes([]byte(fileMagic))
+	fw.uvarint(fileVersion)
+	fw.uvarint(uint64(t.NumPointers))
+	fw.uvarint(uint64(t.NumObjects))
+	fw.uvarint(uint64(t.NumGroups))
+	for _, ts := range t.pointerTS {
+		fw.uvarint(uint64(ts + 1))
+	}
+	for _, ts := range t.objectTS {
+		fw.uvarint(uint64(ts))
+	}
+
+	// Bucket rectangles by (shape, case) and sort each bucket by (X1, Y1)
+	// so X1 delta-coding is effective.
+	var buckets [numShapes][2][]segtree.Rect
+	for _, r := range t.rects {
+		c := 1
+		if r.Case1 {
+			c = 0
+		}
+		buckets[classify(r)][c] = append(buckets[classify(r)][c], r)
+	}
+	for s := shapePoint; s < numShapes; s++ {
+		for c := 0; c < 2; c++ {
+			bucket := buckets[s][c]
+			sort.Slice(bucket, func(i, j int) bool {
+				if bucket[i].X1 != bucket[j].X1 {
+					return bucket[i].X1 < bucket[j].X1
+				}
+				return bucket[i].Y1 < bucket[j].Y1
+			})
+			fw.uvarint(uint64(len(bucket)))
+			prevX := 0
+			for _, r := range bucket {
+				fw.uvarint(uint64(r.X1 - prevX))
+				prevX = r.X1
+				switch s {
+				case shapePoint:
+					fw.uvarint(uint64(r.Y1))
+				case shapeVLine:
+					fw.uvarint(uint64(r.Y1))
+					fw.uvarint(uint64(r.Y2 - r.Y1))
+				case shapeHLine:
+					fw.uvarint(uint64(r.X2 - r.X1))
+					fw.uvarint(uint64(r.Y1))
+				default:
+					fw.uvarint(uint64(r.X2 - r.X1))
+					fw.uvarint(uint64(r.Y1))
+					fw.uvarint(uint64(r.Y2 - r.Y1))
+				}
+			}
+		}
+	}
+	if fw.err != nil {
+		return fw.n, fw.err
+	}
+	return fw.n, fw.w.Flush()
+}
+
+// EncodedSize returns the size in bytes of the persistent file without
+// performing real I/O.
+func (t *Trie) EncodedSize() int64 {
+	n, _ := t.WriteTo(discard{})
+	return n
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// fileContents is the decoded persistent file, shared by Load and Index
+// construction.
+type fileContents struct {
+	numPointers, numObjects, numGroups int
+	pointerTS, objectTS                []int
+	rects                              []segtree.Rect
+}
+
+func readFile(r io.Reader) (*fileContents, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("pestrie: reading magic: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("pestrie: bad magic %q", magic)
+	}
+	u := func(what string) (int, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("pestrie: reading %s: %w", what, err)
+		}
+		const limit = 1 << 30
+		if v > limit {
+			return 0, fmt.Errorf("pestrie: implausible %s %d", what, v)
+		}
+		return int(v), nil
+	}
+	ver, err := u("version")
+	if err != nil {
+		return nil, err
+	}
+	if ver != fileVersion {
+		return nil, fmt.Errorf("pestrie: unsupported version %d", ver)
+	}
+	fc := &fileContents{}
+	if fc.numPointers, err = u("pointer count"); err != nil {
+		return nil, err
+	}
+	if fc.numObjects, err = u("object count"); err != nil {
+		return nil, err
+	}
+	if fc.numGroups, err = u("group count"); err != nil {
+		return nil, err
+	}
+	fc.pointerTS = make([]int, fc.numPointers)
+	for i := range fc.pointerTS {
+		v, err := u("pointer timestamp")
+		if err != nil {
+			return nil, err
+		}
+		fc.pointerTS[i] = v - 1
+		if fc.pointerTS[i] >= fc.numGroups {
+			return nil, fmt.Errorf("pestrie: pointer %d timestamp %d out of range", i, v-1)
+		}
+	}
+	fc.objectTS = make([]int, fc.numObjects)
+	for i := range fc.objectTS {
+		v, err := u("object timestamp")
+		if err != nil {
+			return nil, err
+		}
+		if v >= fc.numGroups {
+			return nil, fmt.Errorf("pestrie: object %d timestamp %d out of range", i, v)
+		}
+		fc.objectTS[i] = v
+	}
+	for s := shapePoint; s < numShapes; s++ {
+		for c := 0; c < 2; c++ {
+			count, err := u("shape count")
+			if err != nil {
+				return nil, err
+			}
+			prevX := 0
+			for k := 0; k < count; k++ {
+				var r segtree.Rect
+				r.Case1 = c == 0
+				dx, err := u("x1")
+				if err != nil {
+					return nil, err
+				}
+				r.X1 = prevX + dx
+				prevX = r.X1
+				switch s {
+				case shapePoint:
+					if r.Y1, err = u("y"); err != nil {
+						return nil, err
+					}
+					r.X2, r.Y2 = r.X1, r.Y1
+				case shapeVLine:
+					if r.Y1, err = u("y1"); err != nil {
+						return nil, err
+					}
+					h, err := u("height")
+					if err != nil {
+						return nil, err
+					}
+					r.X2, r.Y2 = r.X1, r.Y1+h
+				case shapeHLine:
+					w, err := u("width")
+					if err != nil {
+						return nil, err
+					}
+					if r.Y1, err = u("y"); err != nil {
+						return nil, err
+					}
+					r.X2, r.Y2 = r.X1+w, r.Y1
+				default:
+					w, err := u("width")
+					if err != nil {
+						return nil, err
+					}
+					if r.Y1, err = u("y1"); err != nil {
+						return nil, err
+					}
+					h, err := u("height")
+					if err != nil {
+						return nil, err
+					}
+					r.X2, r.Y2 = r.X1+w, r.Y1+h
+				}
+				if r.Y2 >= fc.numGroups || !r.Canonical() {
+					return nil, fmt.Errorf("pestrie: malformed rectangle %v", r)
+				}
+				fc.rects = append(fc.rects, r)
+			}
+		}
+	}
+	return fc, nil
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad hardens the persistent-file decoder: arbitrary input must
+// produce an error or a well-formed index, never a panic, and a valid file
+// must round-trip.
+func FuzzLoad(f *testing.F) {
+	var seed bytes.Buffer
+	if _, err := Build(paperPM(), &Options{Order: paperOrder}).WriteTo(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("PES1"))
+	f.Add([]byte{})
+	f.Add(append(append([]byte(nil), seed.Bytes()...), 0xff, 0x07))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must answer queries without panicking.
+		for p := -1; p <= ix.NumPointers; p++ {
+			ix.ListPointsTo(p)
+			ix.ListAliases(p)
+			ix.IsAlias(p, 0)
+		}
+		for o := -1; o <= ix.NumObjects; o++ {
+			ix.ListPointedBy(o)
+		}
+	})
+}

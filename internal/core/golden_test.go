@@ -1,0 +1,71 @@
+package core
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+// paperGolden is the byte-exact persistent file for the paper's running
+// example (Table 3 matrix, §3.1 object order). It locks the on-disk format:
+// any change to the header layout, varint coding, timestamp sections, or
+// the Fig. 5 shape-split ordering breaks this test and therefore demands a
+// version bump, not a silent format change.
+//
+// Layout for these 45 bytes:
+//
+//	50 45 53 31   "PES1"
+//	01            version
+//	07 05 09      7 pointers, 5 objects, 9 groups
+//	04 01 02 03 08 05 07   pointer timestamps+1 (p1..p7 = 3,0,1,2,7,4,6)
+//	00 04 05 07 08         object timestamps (o1..o5)
+//	then 8 shape sections (count + entries):
+//	  case-1 points   <2,7> <3,8> <6,8> Δx-coded: 05 02 07 01 08 03 08
+//	  case-2 points   <3,6>:           01 03 06
+//	  case-1 vlines   (none): 00
+//	  case-2 vlines   (none): 00
+//	  case-1 hlines   <1,2,4>:          01 01 01 04
+//	  case-2 hlines   (none): 00
+//	  case-1 rects    <1,2,5,6>:        01 01 01 05 01
+//	  case-2 rects    (none): 00
+const paperGolden = "504553310107050904010203080507000405070804010801070108030801030600000101010400010101050100"
+
+func TestGoldenFileFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Build(paperPM(), &Options{Order: paperOrder}).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := hex.DecodeString(paperGolden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("persistent format changed:\n got %x\nwant %x", buf.Bytes(), want)
+	}
+	// And the golden bytes decode to a working index.
+	ix, err := Load(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIndexAgainstPM(t, ix, paperPM())
+}
+
+// TestGoldenCase1Points cross-checks the hand-decoded sections above: the
+// case-1 point section should contain the three Figure 4 points pairing
+// singleton subtrees with PES o5 plus <2,2,7,7> pairing {p4} with PES o4.
+func TestGoldenCase1Points(t *testing.T) {
+	trie := Build(paperPM(), &Options{Order: paperOrder})
+	var points, c2points int
+	for _, r := range trie.Rects() {
+		if r.IsPoint() {
+			if r.Case1 {
+				points++
+			} else {
+				c2points++
+			}
+		}
+	}
+	if points != 4 || c2points != 1 {
+		t.Fatalf("points split %d/%d, want 4 case-1 + 1 case-2", points, c2points)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pestrie/internal/matrix"
+)
+
+func TestGreedyOrderIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pm := randomPM(rng, 1+rng.Intn(30), 1+rng.Intn(15), rng.Intn(150))
+		order := GreedyOrder(pm)
+		if len(order) != pm.NumObjects {
+			return false
+		}
+		seen := make([]bool, pm.NumObjects)
+		for _, o := range order {
+			if o < 0 || o >= pm.NumObjects || seen[o] {
+				return false
+			}
+			seen[o] = true
+		}
+		// The order must be usable by Build and keep answers correct.
+		return indexMatches(Build(pm, &Options{Order: order}).Index(), pm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyCompetitiveWithRandom(t *testing.T) {
+	// The greedy order should produce no more cross edges than the
+	// average random order (it is the near-optimal reference).
+	rng := rand.New(rand.NewSource(5))
+	pm := matrix.New(250, 30)
+	for p := 0; p < 250; p++ {
+		pm.Add(p, rng.Intn(4))
+		for k := 0; k < 3; k++ {
+			pm.Add(p, 4+rng.Intn(26))
+		}
+	}
+	greedy := Build(pm, &Options{Order: GreedyOrder(pm)}).CrossEdges
+	total := 0
+	const trials = 8
+	for i := 0; i < trials; i++ {
+		total += Build(pm, &Options{Order: rng.Perm(30)}).CrossEdges
+	}
+	if greedy > total/trials {
+		t.Fatalf("greedy cross edges %d above random average %d", greedy, total/trials)
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pm := randomPM(rng, 50, 12, 200)
+	a := GreedyOrder(pm)
+	b := GreedyOrder(pm)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("greedy order not deterministic")
+		}
+	}
+}
+
+func TestGreedyEmptyAndTiny(t *testing.T) {
+	if got := GreedyOrder(matrix.New(0, 0)); len(got) != 0 {
+		t.Fatal("empty matrix order not empty")
+	}
+	pm := matrix.New(1, 1)
+	pm.Add(0, 0)
+	if got := GreedyOrder(pm); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("tiny order = %v", got)
+	}
+}

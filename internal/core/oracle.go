@@ -1,0 +1,98 @@
+package core
+
+// This file provides a direct ξ-reachability walker over the constructed
+// Pestrie graph. It is deliberately independent of the interval/rectangle
+// machinery so that tests can validate Theorem 1 ("a pointer p points to an
+// object o iff p is ξ-reachable from o") against it, and it doubles as a
+// reference decoder for debugging.
+
+// xiReachablePointers returns the set of pointers ξ-reachable from object
+// o's origin: the pointers residing in the origin's PES tree, plus — for
+// each cross edge of the origin — the pointers in the target node and in
+// the subtrees of the target's tree edges labelled ≥ ξ (§3.3).
+func (t *Trie) xiReachablePointers(o int) map[int]bool {
+	out := map[int]bool{}
+	idx := t.originIndexOf(o)
+	if idx < 0 {
+		return out
+	}
+	org := t.origins[idx]
+	var collect func(g *group)
+	collect = func(g *group) {
+		for _, p := range g.pointers {
+			out[p] = true
+		}
+		for _, c := range g.children {
+			collect(c)
+		}
+	}
+	collect(org)
+	for _, e := range t.cross[idx] {
+		for _, p := range e.target.pointers {
+			out[p] = true
+		}
+		for k := e.xi; k < len(e.target.children); k++ {
+			collect(e.target.children[k])
+		}
+	}
+	return out
+}
+
+// originIndexOf maps an object to the position of its origin in t.origins,
+// or -1 when the object does not exist. With object merging enabled a
+// duplicate object resolves to its representative's origin.
+func (t *Trie) originIndexOf(o int) int {
+	if o < 0 || o >= t.NumObjects {
+		return -1
+	}
+	ts := t.objectTS[o]
+	for i, org := range t.origins {
+		if org.pre == ts {
+			return i
+		}
+	}
+	return -1
+}
+
+// Stats summarizes the constructed Pestrie for the evaluation harness.
+type Stats struct {
+	Groups       int
+	Origins      int
+	TreeEdges    int
+	CrossEdges   int
+	Rectangles   int
+	Candidates   int
+	Pruned       int
+	Points       int // rectangles that degenerate to points
+	VLines       int
+	HLines       int
+	FullRects    int
+	InternalOnly int
+}
+
+// Stats returns construction statistics.
+func (t *Trie) Stats() Stats {
+	s := Stats{
+		Groups:       t.NumGroups,
+		Origins:      len(t.origins),
+		TreeEdges:    t.TreeEdges,
+		CrossEdges:   t.CrossEdges,
+		Rectangles:   len(t.rects),
+		Candidates:   t.Candidates,
+		Pruned:       t.Pruned,
+		InternalOnly: t.InternalOnly,
+	}
+	for _, r := range t.rects {
+		switch classify(r) {
+		case shapePoint:
+			s.Points++
+		case shapeVLine:
+			s.VLines++
+		case shapeHLine:
+			s.HLines++
+		default:
+			s.FullRects++
+		}
+	}
+	return s
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"io"
+	"sort"
+)
+
+// Index is the in-memory query structure of §4, decoded from a persistent
+// file (or built directly from a Trie). It answers the four queries of
+// Table 1:
+//
+//	IsAlias       O(log n)  — PES identifier comparison, then a binary
+//	                          search over the rectangles crossing column Ip
+//	ListAliases   O(K)      — PES members plus the rectangle ranges on
+//	                          column Ip
+//	ListPointsTo  O(K)      — own origin objects plus Case-1 rectangles
+//	ListPointedBy O(K)      — own PES pointers plus mirrored Case-1 ranges
+type Index struct {
+	NumPointers int
+	NumObjects  int
+	NumGroups   int
+
+	pointerTS []int // timestamp per pointer (-1 unplaced)
+	objectTS  []int // timestamp per object
+
+	// Pointers grouped by timestamp, flattened so that any timestamp
+	// interval [lo, hi] maps to the contiguous slice
+	// ptrsFlat[startOfTS[lo]:startOfTS[hi+1]] — list queries expand
+	// rectangle ranges with slice copies instead of per-timestamp scans.
+	ptrsFlat  []int32
+	startOfTS []int32   // length NumGroups+1
+	objectsAt [][]int32 // timestamp -> object IDs resident there
+
+	// originTS is the sorted list of distinct origin timestamps; PES k
+	// occupies timestamps [originTS[k], pesEnd[k]]. pesOfTS materializes
+	// the binary search of §4 step 1 into a direct lookup — PES
+	// identifiers are recovered once at decode time anyway, so queries
+	// get them in O(1).
+	originTS []int
+	pesEnd   []int
+	pesOfTS  []int32
+
+	// ptList[ts] holds, sorted by lo, one entry per rectangle whose X side
+	// (or, for mirrored entries, Y side) covers ts (§4, step 2). Ranges in
+	// a single column are pairwise disjoint.
+	ptList [][]listEntry
+
+	rectCount int
+}
+
+type listEntry struct {
+	lo, hi int32
+	case1  bool
+	mirror bool // true for the transposed orientation <Y1,Y2,X1,X2>
+}
+
+// Load decodes a persistent file written by (*Trie).WriteTo into an Index.
+func Load(r io.Reader) (*Index, error) {
+	fc, err := readFile(r)
+	if err != nil {
+		return nil, err
+	}
+	return buildIndex(fc), nil
+}
+
+// Index builds the query structure directly, bypassing file serialization.
+func (t *Trie) Index() *Index {
+	return buildIndex(&fileContents{
+		numPointers: t.NumPointers,
+		numObjects:  t.NumObjects,
+		numGroups:   t.NumGroups,
+		pointerTS:   t.pointerTS,
+		objectTS:    t.objectTS,
+		rects:       t.rects,
+	})
+}
+
+func buildIndex(fc *fileContents) *Index {
+	ix := &Index{
+		NumPointers: fc.numPointers,
+		NumObjects:  fc.numObjects,
+		NumGroups:   fc.numGroups,
+		pointerTS:   fc.pointerTS,
+		objectTS:    fc.objectTS,
+		objectsAt:   make([][]int32, fc.numGroups),
+		ptList:      make([][]listEntry, fc.numGroups),
+		rectCount:   len(fc.rects),
+	}
+	// Flatten pointers by timestamp with counting sort.
+	ix.startOfTS = make([]int32, fc.numGroups+1)
+	placed := 0
+	for _, ts := range fc.pointerTS {
+		if ts >= 0 {
+			ix.startOfTS[ts+1]++
+			placed++
+		}
+	}
+	for ts := 0; ts < fc.numGroups; ts++ {
+		ix.startOfTS[ts+1] += ix.startOfTS[ts]
+	}
+	ix.ptrsFlat = make([]int32, placed)
+	fill := append([]int32(nil), ix.startOfTS[:fc.numGroups]...)
+	for p, ts := range fc.pointerTS {
+		if ts >= 0 {
+			ix.ptrsFlat[fill[ts]] = int32(p)
+			fill[ts]++
+		}
+	}
+	originSet := make(map[int]bool, fc.numObjects)
+	for o, ts := range fc.objectTS {
+		ix.objectsAt[ts] = append(ix.objectsAt[ts], int32(o))
+		originSet[ts] = true
+	}
+	ix.originTS = make([]int, 0, len(originSet))
+	for ts := range originSet {
+		ix.originTS = append(ix.originTS, ts)
+	}
+	sort.Ints(ix.originTS)
+	// PES intervals tile [0, numGroups): PES k ends right before PES k+1
+	// starts.
+	ix.pesEnd = make([]int, len(ix.originTS))
+	ix.pesOfTS = make([]int32, fc.numGroups)
+	for k := range ix.originTS {
+		if k+1 < len(ix.originTS) {
+			ix.pesEnd[k] = ix.originTS[k+1] - 1
+		} else {
+			ix.pesEnd[k] = fc.numGroups - 1
+		}
+		for ts := ix.originTS[k]; ts <= ix.pesEnd[k]; ts++ {
+			ix.pesOfTS[ts] = int32(k)
+		}
+	}
+	for _, r := range fc.rects {
+		for a := r.X1; a <= r.X2; a++ {
+			ix.ptList[a] = append(ix.ptList[a],
+				listEntry{lo: int32(r.Y1), hi: int32(r.Y2), case1: r.Case1})
+		}
+		for b := r.Y1; b <= r.Y2; b++ {
+			ix.ptList[b] = append(ix.ptList[b],
+				listEntry{lo: int32(r.X1), hi: int32(r.X2), case1: r.Case1, mirror: true})
+		}
+	}
+	for ts := range ix.ptList {
+		l := ix.ptList[ts]
+		sort.Slice(l, func(i, j int) bool {
+			if l[i].lo != l[j].lo {
+				return l[i].lo < l[j].lo
+			}
+			if l[i].hi != l[j].hi {
+				return l[i].hi > l[j].hi // widest first so dedup sees the encloser
+			}
+			return l[i].case1 && !l[j].case1 // case-1 first among equals
+		})
+		ix.ptList[ts] = dedupColumn(l)
+	}
+	return ix
+}
+
+// dedupColumn removes entries enclosed by an earlier entry of the same
+// column. With Theorem-2 pruning on nothing is ever dropped (ranges are
+// pairwise disjoint); with pruning disabled the redundant rectangles are
+// nested inside retained ones, and by Theorem 2 nested-or-disjoint is the
+// only possibility, so "hi does not extend past the running maximum" is
+// exactly enclosure. Case-1 entries are never enclosed (their PES side
+// cannot fit inside any other interval) and are kept unconditionally so
+// points-to facts survive.
+func dedupColumn(l []listEntry) []listEntry {
+	out := l[:0]
+	maxHi := int32(-1)
+	for _, e := range l {
+		if e.hi <= maxHi && !e.case1 {
+			continue
+		}
+		if e.hi > maxHi {
+			maxHi = e.hi
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// pesOf returns the PES index of a timestamp, or -1 for ts < 0.
+func (ix *Index) pesOf(ts int) int {
+	if ts < 0 || ts >= len(ix.pesOfTS) {
+		return -1
+	}
+	return int(ix.pesOfTS[ts])
+}
+
+// entryCovering binary-searches the column's entries for one whose range
+// contains y. Ranges in a column are pairwise disjoint, so at most one
+// matches and the predecessor-by-lo is the only candidate.
+func entryCovering(list []listEntry, y int32) (listEntry, bool) {
+	i := sort.Search(len(list), func(i int) bool { return list[i].lo > y })
+	if i == 0 {
+		return listEntry{}, false
+	}
+	e := list[i-1]
+	if y <= e.hi {
+		return e, true
+	}
+	return listEntry{}, false
+}
+
+// IsAlias reports whether pointers p and q may alias, i.e. whether their
+// points-to sets intersect. Out-of-range IDs and pointers with empty
+// points-to sets alias nothing.
+func (ix *Index) IsAlias(p, q int) bool {
+	tp, tq := ix.tsOfPointer(p), ix.tsOfPointer(q)
+	if tp < 0 || tq < 0 {
+		return false
+	}
+	if p == q {
+		return true // placed pointers have non-empty points-to sets
+	}
+	if ix.pesOf(tp) == ix.pesOf(tq) {
+		return true // internal pair: both point to the PES origin object
+	}
+	x, y := tp, tq
+	if x > y {
+		x, y = y, x
+	}
+	_, ok := entryCovering(ix.ptList[x], int32(y))
+	return ok
+}
+
+// ListAliases returns the pointers aliased to p (excluding p itself), in
+// unspecified order.
+func (ix *Index) ListAliases(p int) []int {
+	ts := ix.tsOfPointer(p)
+	if ts < 0 {
+		return nil
+	}
+	// Internal pairs: every pointer in p's PES; cross pairs: ranges of the
+	// rectangles crossing column ts.
+	k := ix.pesOf(ts)
+	n := len(ix.ptrsInRange(ix.originTS[k], ix.pesEnd[k]))
+	for _, e := range ix.ptList[ts] {
+		n += len(ix.ptrsInRange(int(e.lo), int(e.hi)))
+	}
+	out := make([]int, 0, n)
+	for _, q := range ix.ptrsInRange(ix.originTS[k], ix.pesEnd[k]) {
+		if int(q) != p {
+			out = append(out, int(q))
+		}
+	}
+	for _, e := range ix.ptList[ts] {
+		for _, q := range ix.ptrsInRange(int(e.lo), int(e.hi)) {
+			out = append(out, int(q))
+		}
+	}
+	return out
+}
+
+// ptrsInRange returns the pointers whose timestamps fall in [lo, hi].
+func (ix *Index) ptrsInRange(lo, hi int) []int32 {
+	return ix.ptrsFlat[ix.startOfTS[lo]:ix.startOfTS[hi+1]]
+}
+
+// ListPointsTo returns the objects pointer p may point to, in unspecified
+// order.
+func (ix *Index) ListPointsTo(p int) []int {
+	ts := ix.tsOfPointer(p)
+	if ts < 0 {
+		return nil
+	}
+	var out []int
+	// p points to the object(s) of its own PES origin.
+	k := ix.pesOf(ts)
+	for _, o := range ix.objectsAt[ix.originTS[k]] {
+		out = append(out, int(o))
+	}
+	// Case-1 rectangles whose X side covers ts: their Y1 is the timestamp
+	// of an origin whose object(s) p also points to.
+	for _, e := range ix.ptList[ts] {
+		if e.case1 && !e.mirror {
+			for _, o := range ix.objectsAt[e.lo] {
+				out = append(out, int(o))
+			}
+		}
+	}
+	return out
+}
+
+// ListPointedBy returns the pointers that may point to object o, in
+// unspecified order.
+func (ix *Index) ListPointedBy(o int) []int {
+	if o < 0 || o >= ix.NumObjects {
+		return nil
+	}
+	ts := ix.objectTS[o]
+	var out []int
+	// Every pointer in o's PES points to o.
+	k := ix.pesOf(ts)
+	out = append(out, toInts(ix.ptrsInRange(ix.originTS[k], ix.pesEnd[k]))...)
+	// Mirrored Case-1 entries at the origin column: their ranges are the
+	// ξ-reachable subtrees of o's cross edges.
+	for _, e := range ix.ptList[ts] {
+		if e.case1 && e.mirror {
+			out = append(out, toInts(ix.ptrsInRange(int(e.lo), int(e.hi)))...)
+		}
+	}
+	return out
+}
+
+func toInts(xs []int32) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = int(x)
+	}
+	return out
+}
+
+func (ix *Index) tsOfPointer(p int) int {
+	if p < 0 || p >= ix.NumPointers {
+		return -1
+	}
+	return ix.pointerTS[p]
+}
+
+// MemoryFootprint estimates the resident size of the query structure in
+// bytes (used by the Table-7 "querying memory" column).
+func (ix *Index) MemoryFootprint() int64 {
+	var n int64
+	n += int64(len(ix.pointerTS)+len(ix.objectTS)+len(ix.originTS)+len(ix.pesEnd)) * 8
+	n += int64(len(ix.pesOfTS)) * 4
+	for _, l := range ix.ptList {
+		n += int64(len(l))*10 + 24
+	}
+	n += int64(len(ix.ptrsFlat)+len(ix.startOfTS)) * 4
+	for _, l := range ix.objectsAt {
+		n += int64(len(l))*4 + 24
+	}
+	return n
+}
+
+// Rectangles returns the number of rectangle labels backing the index.
+func (ix *Index) Rectangles() int { return ix.rectCount }

@@ -1,0 +1,38 @@
+package core
+
+import "pestrie/internal/matrix"
+
+// This file adds the two decoding conveniences §4 sketches: a direct
+// points-to membership test (the dual of IsAlias) and full recovery of the
+// points-to matrix from the persistent encoding ("we can recover the
+// points-to matrix PM and directly return PM[p] as the answer").
+
+// PointsTo reports whether pointer p may point to object o, in O(log n):
+// either p lives in o's PES, or the point (Ip, Io) is covered by a Case-1
+// rectangle — and any rectangle range containing an origin timestamp is
+// necessarily that origin's PES interval, so the covering test suffices.
+func (ix *Index) PointsTo(p, o int) bool {
+	tp := ix.tsOfPointer(p)
+	if tp < 0 || o < 0 || o >= ix.NumObjects {
+		return false
+	}
+	to := ix.objectTS[o]
+	if ix.pesOf(tp) == ix.pesOf(to) {
+		return true
+	}
+	e, ok := entryCovering(ix.ptList[tp], int32(to))
+	return ok && e.case1
+}
+
+// RecoverMatrix reconstructs the full points-to matrix from the index —
+// the exact inverse of Build followed by persistence. Cost is
+// output-linear in the number of facts.
+func (ix *Index) RecoverMatrix() *matrix.PointsTo {
+	pm := matrix.New(ix.NumPointers, ix.NumObjects)
+	for o := 0; o < ix.NumObjects; o++ {
+		for _, p := range ix.ListPointedBy(o) {
+			pm.Add(p, o)
+		}
+	}
+	return pm
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointsToPaperExample(t *testing.T) {
+	pm := paperPM()
+	ix := buildPaper(t).Index()
+	for p := 0; p < pm.NumPointers; p++ {
+		for o := 0; o < pm.NumObjects; o++ {
+			if got, want := ix.PointsTo(p, o), pm.Has(p, o); got != want {
+				t.Errorf("PointsTo(p%d, o%d) = %v, want %v", p+1, o+1, got, want)
+			}
+		}
+	}
+	// The Example 2 trap: p4 is plainly reachable from o5 but must not be
+	// reported as pointing to it.
+	if ix.PointsTo(3, 4) {
+		t.Fatal("PointsTo(p4, o5) = true — ξ-condition violated")
+	}
+	if ix.PointsTo(-1, 0) || ix.PointsTo(0, -1) || ix.PointsTo(0, 99) {
+		t.Fatal("out-of-range PointsTo returned true")
+	}
+}
+
+func TestRecoverMatrixPaperExample(t *testing.T) {
+	pm := paperPM()
+	if !buildPaper(t).Index().RecoverMatrix().Equal(pm) {
+		t.Fatal("recovered matrix differs from original")
+	}
+}
+
+func TestQuickRecoverRoundTrip(t *testing.T) {
+	// Build → persist → load → recover must be the identity on matrices,
+	// for arbitrary orders and options.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		np, no := 1+rng.Intn(30), 1+rng.Intn(15)
+		pm := randomPM(rng, np, no, rng.Intn(200))
+		opts := &Options{
+			Order:                  randomOrder(rng, no),
+			MergeEquivalentObjects: rng.Intn(2) == 0,
+		}
+		var buf bytes.Buffer
+		if _, err := Build(pm, opts).WriteTo(&buf); err != nil {
+			return false
+		}
+		ix, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		return ix.RecoverMatrix().Equal(pm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPointsToMatchesMatrix(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		np, no := 1+rng.Intn(25), 1+rng.Intn(12)
+		pm := randomPM(rng, np, no, rng.Intn(150))
+		ix := Build(pm, &Options{Order: randomOrder(rng, no)}).Index()
+		for p := 0; p < np; p++ {
+			for o := 0; o < no; o++ {
+				if ix.PointsTo(p, o) != pm.Has(p, o) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

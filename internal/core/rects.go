@@ -1,0 +1,70 @@
+package core
+
+import "pestrie/internal/segtree"
+
+// generateRectangles implements §3.4.1: visiting origins in object order,
+// pair the ξ-reachable subtree intervals of each origin's cross edges with
+// each other (Case-2) and with the origin's PES interval (Case-1), and
+// discard any rectangle whose lower-left corner is covered by a previously
+// retained rectangle. By Theorem 2 a covered corner implies full enclosure,
+// so the discard is lossless.
+func (t *Trie) generateRectangles(prune bool) {
+	if t.NumGroups == 0 {
+		return
+	}
+	var index *segtree.Tree
+	if prune {
+		index = segtree.NewTree(t.NumGroups)
+	}
+
+	consider := func(a, b interval, case1 bool) {
+		t.Candidates++
+		// Canonical orientation: smaller timestamps on the X side. The
+		// construction already guarantees a and b are disjoint, and that
+		// PES sides are the larger (targets of cross edges were created
+		// before the current origin).
+		if a.lo > b.lo {
+			a, b = b, a
+		}
+		r := segtree.Rect{X1: a.lo, X2: a.hi, Y1: b.lo, Y2: b.hi, Case1: case1}
+		if prune {
+			if index.Covers(r.X1, r.Y1) {
+				t.Pruned++
+				return
+			}
+			index.Insert(r)
+		}
+		t.rects = append(t.rects, r)
+	}
+
+	for idx, org := range t.origins {
+		edges := t.cross[idx]
+		if len(edges) == 0 {
+			continue
+		}
+		pes := interval{org.pre, org.end}
+		subs := make([]interval, len(edges))
+		for i, e := range edges {
+			subs[i] = subtreeInterval(e)
+		}
+		// Case-1: each cross-edge subtree against the PES interval. These
+		// rectangles carry the points-to facts (Y1 is the origin's
+		// timestamp) and are provably never enclosed, but they still feed
+		// the enclosure index so later Case-2 duplicates are pruned.
+		for _, s := range subs {
+			consider(s, pes, true)
+		}
+		// Case-2: cross-edge subtrees pairwise. Two subtrees inside the
+		// same PES form internal pairs (answered by PES identifier
+		// comparison, §3.2), so only cross-PES pairs need rectangles —
+		// this is why Figure 4 has no <1,1,3,3> rectangle for p3/p1.
+		for i := 0; i < len(subs); i++ {
+			for j := i + 1; j < len(subs); j++ {
+				if edges[i].target.pes == edges[j].target.pes {
+					continue
+				}
+				consider(subs[i], subs[j], false)
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package demand
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pestrie/internal/matrix"
+)
+
+func randomPM(rng *rand.Rand, np, no, edges int) *matrix.PointsTo {
+	pm := matrix.New(np, no)
+	for i := 0; i < edges; i++ {
+		pm.Add(rng.Intn(np), rng.Intn(no))
+	}
+	return pm
+}
+
+func sorted(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQueriesMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pm := randomPM(rng, 25, 10, 120)
+	d := New(pm)
+	pmt := pm.Transpose()
+	for p := 0; p < pm.NumPointers; p++ {
+		if !sameInts(sorted(d.ListPointsTo(p)), pm.Row(p).Members()) {
+			t.Fatalf("ListPointsTo(%d)", p)
+		}
+		var want []int
+		for q := 0; q < pm.NumPointers; q++ {
+			alias := pm.Row(p).Intersects(pm.Row(q))
+			if d.IsAlias(p, q) != alias {
+				t.Fatalf("IsAlias(%d,%d)", p, q)
+			}
+			if q != p && alias {
+				want = append(want, q)
+			}
+		}
+		// Query twice: second hit exercises the cache path.
+		for i := 0; i < 2; i++ {
+			if got := sorted(d.ListAliases(p)); !sameInts(got, want) {
+				t.Fatalf("ListAliases(%d) pass %d = %v, want %v", p, i, got, want)
+			}
+		}
+	}
+	for o := 0; o < pm.NumObjects; o++ {
+		if !sameInts(sorted(d.ListPointedBy(o)), pmt.Row(o).Members()) {
+			t.Fatalf("ListPointedBy(%d)", o)
+		}
+	}
+}
+
+func TestCacheSharesAcrossEquivalentPointers(t *testing.T) {
+	pm := matrix.New(4, 2)
+	pm.Add(0, 0)
+	pm.Add(1, 0) // p1 equivalent to p0
+	pm.Add(2, 1)
+	d := New(pm)
+	a0 := sorted(d.ListAliases(0))
+	a1 := sorted(d.ListAliases(1)) // must hit the cache and exclude p1 itself
+	if !sameInts(a0, []int{1}) || !sameInts(a1, []int{0}) {
+		t.Fatalf("ListAliases(0)=%v ListAliases(1)=%v", a0, a1)
+	}
+	if len(d.cache) == 0 {
+		t.Fatal("cache never populated")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	d := New(matrix.New(2, 2))
+	if d.IsAlias(-1, 0) || d.IsAlias(0, 5) {
+		t.Fatal("out-of-range IsAlias true")
+	}
+	if d.ListAliases(-1) != nil || d.ListPointsTo(7) != nil || d.ListPointedBy(-2) != nil {
+		t.Fatal("out-of-range list query returned data")
+	}
+}
+
+func TestEmptyPointsToSetHasNoAliases(t *testing.T) {
+	pm := matrix.New(3, 1)
+	pm.Add(0, 0)
+	d := New(pm)
+	if d.IsAlias(1, 1) {
+		t.Fatal("pointer with empty set aliases itself")
+	}
+	if got := d.ListAliases(1); got != nil {
+		t.Fatalf("ListAliases of empty pointer = %v", got)
+	}
+}
+
+func TestAliasPairsMethodsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		np, no := 2+rng.Intn(25), 1+rng.Intn(10)
+		pm := randomPM(rng, np, no, rng.Intn(150))
+		// Base pointers: a random unique subset.
+		var base []int
+		for p := 0; p < np; p++ {
+			if rng.Intn(2) == 0 {
+				base = append(base, p)
+			}
+		}
+		d1, d2 := New(pm), New(pm)
+		return d1.AliasPairs(base) == d2.AliasPairsViaList(base)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAliasPairsCount(t *testing.T) {
+	pm := matrix.New(4, 1)
+	pm.Add(0, 0)
+	pm.Add(1, 0)
+	pm.Add(2, 0)
+	// p3 empty: 3 mutually aliased pointers -> 3 pairs.
+	d := New(pm)
+	if got := d.AliasPairs([]int{0, 1, 2, 3}); got != 3 {
+		t.Fatalf("AliasPairs = %d, want 3", got)
+	}
+}

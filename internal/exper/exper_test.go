@@ -1,0 +1,151 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOpts keeps the harness tests fast: two presets from different
+// analysis groups at a very small scale.
+func tinyOpts() *Options {
+	return &Options{Scale: 0.002, Presets: []string{"antlr", "samba"}}
+}
+
+func TestTable2(t *testing.T) {
+	rows := Table2(tinyOpts())
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Pointers <= 0 || r.Objects <= 0 || r.Edges <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+	out := RenderTable2(rows)
+	if !strings.Contains(out, "antlr") || !strings.Contains(out, "samba") {
+		t.Fatalf("render missing programs:\n%s", out)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	rows := Figure1(tinyOpts())
+	for _, r := range rows {
+		if r.PointerRatio <= 0 || r.PointerRatio > 1 {
+			t.Fatalf("pointer ratio %v out of range", r.PointerRatio)
+		}
+		if r.ObjectRatio <= 0 || r.ObjectRatio > 1 {
+			t.Fatalf("object ratio %v out of range", r.ObjectRatio)
+		}
+		// Qualitative Figure 1 shape: pointers far more redundant than
+		// objects.
+		if r.PointerRatio >= r.ObjectRatio {
+			t.Errorf("%s: pointer ratio %.2f >= object ratio %.2f",
+				r.Name, r.PointerRatio, r.ObjectRatio)
+		}
+	}
+	out := RenderFigure1(rows)
+	if !strings.Contains(out, "average") || !strings.Contains(out, "paper") {
+		t.Fatalf("render missing summary:\n%s", out)
+	}
+}
+
+func TestTable7(t *testing.T) {
+	rows := Table7(tinyOpts())
+	for _, r := range rows {
+		if r.BasePtrs == 0 {
+			t.Fatalf("%s: no base pointers", r.Name)
+		}
+		if r.AliasPairs == 0 {
+			t.Errorf("%s: no alias pairs found — workload degenerate", r.Name)
+		}
+		if r.DecodePesP <= 0 || r.DecodeBitP <= 0 {
+			t.Errorf("%s: missing decode times", r.Name)
+		}
+		if r.MemPesP <= 0 || r.MemBitP <= 0 {
+			t.Errorf("%s: missing memory", r.Name)
+		}
+		if r.Name == "antlr" && r.ListPointsToBDD == 0 {
+			t.Errorf("antlr should have a BDD column")
+		}
+		if r.Name == "samba" && r.ListPointsToBDD != 0 {
+			t.Errorf("samba should not have a BDD column")
+		}
+	}
+	out := RenderTable7(rows)
+	if !strings.Contains(out, "ia-pes") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+}
+
+func TestTable8(t *testing.T) {
+	rows := Table8(tinyOpts())
+	for _, r := range rows {
+		if r.SizePesP <= 0 || r.SizeBitP <= 0 || r.SizeBzip <= 0 {
+			t.Fatalf("%s: missing sizes %+v", r.Name, r)
+		}
+		// The headline claim, at any scale: PesP beats BitP.
+		if r.SizePesP >= r.SizeBitP {
+			t.Errorf("%s: PesP %d not smaller than BitP %d", r.Name, r.SizePesP, r.SizeBitP)
+		}
+	}
+	out := RenderTable8(rows)
+	if !strings.Contains(out, "geomean") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+}
+
+func TestFigure7(t *testing.T) {
+	rows := Figure7(tinyOpts())
+	for _, r := range rows {
+		if r.FileSizeRatio <= 0 {
+			t.Fatalf("%s: bad ratios %+v", r.Name, r)
+		}
+		// Hub order should not lose on cross edges.
+		if r.CrossEdgesHub > r.CrossEdgesRand {
+			t.Errorf("%s: hub order produced more cross edges (%d vs %d)",
+				r.Name, r.CrossEdgesHub, r.CrossEdgesRand)
+		}
+	}
+	out := RenderFigure7(rows)
+	if !strings.Contains(out, "average") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	rows := Ablations(tinyOpts())
+	for _, r := range rows {
+		if r.RectsUnpruned < r.RectsPruned {
+			t.Errorf("%s: pruning added rectangles?!", r.Name)
+		}
+		if r.GroupsMerged > r.GroupsPlain {
+			t.Errorf("%s: merging added groups", r.Name)
+		}
+		if r.FileShapeSplit <= 0 || r.FileUniform <= 0 {
+			t.Errorf("%s: missing file sizes", r.Name)
+		}
+		// The Fig. 5 shape split must not be worse than uniform coding.
+		if r.FileUniform < r.FileShapeSplit {
+			t.Errorf("%s: uniform layout smaller (%d < %d)",
+				r.Name, r.FileUniform, r.FileShapeSplit)
+		}
+	}
+	out := RenderAblations(rows)
+	if !strings.Contains(out, "xedge") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o *Options
+	if o.scale() <= 0 {
+		t.Fatal("nil options scale")
+	}
+	if len(o.presets()) != 12 {
+		t.Fatal("nil options presets")
+	}
+	named := (&Options{Presets: []string{"fop", "nope"}}).presets()
+	if len(named) != 1 || named[0].Name != "fop" {
+		t.Fatalf("preset filter broken: %v", named)
+	}
+}

@@ -1,0 +1,103 @@
+package exper
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"pestrie/internal/core"
+)
+
+// Figure7Row compares the hub-degree object order (PesP) against a random
+// object order (Pes_rand) for one benchmark — Figure 7 of the paper. All
+// values are Pes_rand / PesP ratios, so >1 means the heuristic wins.
+type Figure7Row struct {
+	Name string
+
+	ConstructionRatio float64 // paper avg: 5.3×
+	DecodeRatio       float64 // paper avg: 3.2×
+	IsAliasRatio      float64 // paper avg: 1.8×
+	FileSizeRatio     float64 // paper avg: 5.9×
+
+	CrossEdgesHub  int
+	CrossEdgesRand int
+}
+
+// Figure7 regenerates the heuristic-effectiveness comparison.
+func Figure7(opts *Options) []Figure7Row {
+	var rows []Figure7Row
+	for _, w := range buildWorkloads(opts) {
+		rows = append(rows, figure7One(w))
+	}
+	return rows
+}
+
+func figure7One(w workload) Figure7Row {
+	row := Figure7Row{Name: w.preset.Name}
+
+	measure := func(o *core.Options) (build, decode, isAlias time.Duration, size int64, cross int) {
+		start := time.Now()
+		trie := core.Build(w.pm, o)
+		var file bytes.Buffer
+		if _, err := trie.WriteTo(&file); err != nil {
+			panic(err)
+		}
+		build = time.Since(start)
+		size = int64(file.Len())
+		cross = trie.CrossEdges
+
+		start = time.Now()
+		ix, err := core.Load(bytes.NewReader(file.Bytes()))
+		if err != nil {
+			panic(err)
+		}
+		decode = time.Since(start)
+
+		isAlias, _ = timeIsAliasPairs(ix, w.base)
+		return build, decode, isAlias, size, cross
+	}
+
+	hb, hd, hi, hs, hc := measure(nil)
+	rng := rand.New(rand.NewSource(int64(len(w.preset.Name)) * 7919))
+	rb, rd, ri, rs, rc := measure(&core.Options{Order: rng.Perm(w.pm.NumObjects)})
+
+	row.ConstructionRatio = ratio(rb, hb)
+	row.DecodeRatio = ratio(rd, hd)
+	row.IsAliasRatio = ratio(ri, hi)
+	row.FileSizeRatio = float64(rs) / math.Max(float64(hs), 1)
+	row.CrossEdgesHub, row.CrossEdgesRand = hc, rc
+	return row
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// RenderFigure7 renders Figure7 rows as text.
+func RenderFigure7(rows []Figure7Row) string {
+	var b bytes.Buffer
+	fmt.Fprintln(&b, "Figure 7: Pes_rand / PesP ratios (hub-order heuristic effectiveness)")
+	fmt.Fprintf(&b, "%-12s %12s %10s %10s %10s %12s %12s\n",
+		"program", "construct", "decode", "IsAlias", "filesize", "cross-hub", "cross-rand")
+	var cb, cd, ci, cs float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %11.1f× %9.1f× %9.1f× %9.1f× %12d %12d\n",
+			r.Name, r.ConstructionRatio, r.DecodeRatio, r.IsAliasRatio,
+			r.FileSizeRatio, r.CrossEdgesHub, r.CrossEdgesRand)
+		cb += r.ConstructionRatio
+		cd += r.DecodeRatio
+		ci += r.IsAliasRatio
+		cs += r.FileSizeRatio
+	}
+	if len(rows) > 0 {
+		n := float64(len(rows))
+		fmt.Fprintf(&b, "%-12s %11.1f× %9.1f× %9.1f× %9.1f×   (paper: 5.3× / 3.2× / 1.8× / 5.9×)\n",
+			"average", cb/n, cd/n, ci/n, cs/n)
+	}
+	return b.String()
+}

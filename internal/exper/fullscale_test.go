@@ -1,0 +1,22 @@
+package exper
+
+import "testing"
+
+func TestFullScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale smoke test")
+	}
+	opts := &Options{Scale: 0.01}
+	t.Log(RenderTable2(Table2(opts)))
+	t.Log(RenderFigure1(Figure1(opts)))
+	t.Log(RenderTable8(Table8(opts)))
+}
+
+func TestFullScaleQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale smoke test")
+	}
+	opts := &Options{Scale: 0.01, Presets: []string{"samba", "antlr", "chart", "fop"}}
+	t.Log(RenderTable7(Table7(opts)))
+	t.Log(RenderFigure7(Figure7(opts)))
+}

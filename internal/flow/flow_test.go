@@ -1,0 +1,199 @@
+package flow
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"pestrie/internal/core"
+	"pestrie/internal/ir"
+)
+
+func parse(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := ir.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// ptsAt returns the objects of pointer ptr at program point, via the
+// normalized matrix.
+func ptsAt(t *testing.T, res *Result, point, ptr string) []string {
+	t.Helper()
+	p := res.Normalized.PointerID(point, ptr)
+	if p < 0 {
+		return nil
+	}
+	var out []string
+	res.Normalized.PM.Row(p).ForEach(func(o int) bool {
+		out = append(out, res.Normalized.ObjectNames[o])
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+func TestStrongUpdate(t *testing.T) {
+	res, err := Analyze(parse(t, `
+func main() {
+  p = alloc A
+  p = alloc B
+}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flow-sensitive: p@0 -> {A}, p@1 -> {B}.
+	if got := ptsAt(t, res, "main:0", "p"); len(got) != 1 || got[0] != "A" {
+		t.Fatalf("p@0 = %v, want [A]", got)
+	}
+	if got := ptsAt(t, res, "main:1", "p"); len(got) != 1 || got[0] != "B" {
+		t.Fatalf("p@1 = %v, want [B]", got)
+	}
+	// The flow-insensitive base merges both.
+	base := res.Insensitive
+	if base.PM.Row(base.PointerID("main.p")).Count() != 2 {
+		t.Fatal("base analysis should merge A and B")
+	}
+}
+
+func TestCopyTracksCurrentBinding(t *testing.T) {
+	res, err := Analyze(parse(t, `
+func main() {
+  p = alloc A
+  q = p
+  p = alloc B
+  r = p
+}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ptsAt(t, res, "main:1", "q"); len(got) != 1 || got[0] != "A" {
+		t.Fatalf("q = %v, want [A]", got)
+	}
+	if got := ptsAt(t, res, "main:3", "r"); len(got) != 1 || got[0] != "B" {
+		t.Fatalf("r = %v, want [B]", got)
+	}
+}
+
+func TestLoadUsesHeapSummary(t *testing.T) {
+	res, err := Analyze(parse(t, `
+func main() {
+  p = alloc Cell
+  v = alloc V
+  *p = v
+  w = *p
+}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ptsAt(t, res, "main:3", "w"); len(got) != 1 || got[0] != "V" {
+		t.Fatalf("w = %v, want [V]", got)
+	}
+}
+
+func TestCallUsesBaseSummary(t *testing.T) {
+	res, err := Analyze(parse(t, `
+func mk() {
+  o = alloc O
+  return o
+}
+func main() {
+  x = call mk()
+}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ptsAt(t, res, "main:0", "x"); len(got) != 1 || got[0] != "O" {
+		t.Fatalf("x = %v, want [O]", got)
+	}
+}
+
+func TestSoundnessAgainstBase(t *testing.T) {
+	// Every flow-sensitive fact must be within the flow-insensitive
+	// result (refinement, never addition), and the latest binding of each
+	// variable must be non-empty whenever the base's is reachable through
+	// a straight-line walk.
+	prog := ir.Generate(ir.GenOptions{Funcs: 6, VarsPerFunc: 5, StmtsPerFunc: 15, Seed: 5})
+	res, err := Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res.Insensitive
+	for _, f := range res.Facts {
+		key := funcOf(f.Point) + "." + f.Ptr
+		p := base.PointerID(key)
+		if p < 0 {
+			t.Fatalf("fact %v names unknown pointer %s", f, key)
+		}
+		if !base.PM.Has(p, base.ObjectID(f.Obj)) {
+			t.Fatalf("flow-sensitive fact %v not in the sound base result", f)
+		}
+	}
+}
+
+func TestNormalizedFeedsPestrie(t *testing.T) {
+	// The full §6 pipeline: flow-sensitive facts → p_l matrix → Pestrie.
+	res, err := Analyze(parse(t, `
+func main() {
+  p = alloc A
+  q = p
+  p = alloc B
+}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, n := res.MatrixWithNames()
+	ix := core.Build(pm, nil).Index()
+	p0 := n.PointerID("main:0", "p")
+	p2 := n.PointerID("main:2", "p")
+	q := n.PointerID("main:1", "q")
+	if !ix.IsAlias(p0, q) {
+		t.Fatal("p@0 must alias q")
+	}
+	if ix.IsAlias(p2, q) {
+		t.Fatal("p@2 must NOT alias q — strong update lost through Pestrie")
+	}
+}
+
+func TestFinalFacts(t *testing.T) {
+	res, err := Analyze(parse(t, `
+func main() {
+  p = alloc A
+  p = alloc B
+}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.FinalFacts()
+	got := final["main.p"]
+	if len(got) != 1 || got[0] != "B" {
+		t.Fatalf("final p = %v, want [B]", got)
+	}
+}
+
+func TestAnalyzeRejectsInvalid(t *testing.T) {
+	bad := &ir.Program{Funcs: []*ir.Func{{Name: "f", Body: []ir.Stmt{{Kind: ir.Call, Callee: "nope"}}}}}
+	if _, err := Analyze(bad); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+}
+
+func TestPointHelpers(t *testing.T) {
+	if PointName("f", 3) != "f:3" {
+		t.Fatal("PointName")
+	}
+	if funcOf("a.b:12") != "a.b" || idxOf("a.b:12") != 12 {
+		t.Fatal("point parsing")
+	}
+	if !pointAfter("f:2", "f:1") || pointAfter("f:1", "f:2") {
+		t.Fatal("pointAfter")
+	}
+}

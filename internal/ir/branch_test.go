@@ -1,0 +1,143 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const branchSample = `
+func main() {
+  p = alloc A
+  branch {
+    p = alloc B
+    branch {
+      q = p
+    }
+  } else {
+    p = alloc C
+  }
+  r = p
+}
+`
+
+func TestParseBranch(t *testing.T) {
+	prog, err := Parse(strings.NewReader(branchSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := prog.Func("main")
+	if len(main.Body) != 3 {
+		t.Fatalf("top-level stmts = %d, want 3", len(main.Body))
+	}
+	br := main.Body[1]
+	if br.Kind != Branch {
+		t.Fatalf("stmt 1 kind = %v", br.Kind)
+	}
+	if len(br.Then) != 2 || len(br.Else) != 1 {
+		t.Fatalf("arms = %d/%d, want 2/1", len(br.Then), len(br.Else))
+	}
+	inner := br.Then[1]
+	if inner.Kind != Branch || len(inner.Then) != 1 || len(inner.Else) != 0 {
+		t.Fatalf("nested branch wrong: %+v", inner)
+	}
+	// NumStmts counts nested statements.
+	if got := prog.NumStmts(); got != 7 {
+		t.Fatalf("NumStmts = %d, want 7", got)
+	}
+	if prog.Stats()[Branch] != 2 {
+		t.Fatalf("Stats[Branch] = %d, want 2", prog.Stats()[Branch])
+	}
+}
+
+func TestBranchPrintParseRoundTrip(t *testing.T) {
+	prog, err := Parse(strings.NewReader(branchSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := prog.String()
+	again, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if again.String() != text {
+		t.Fatalf("not a fixpoint:\n%s\nvs\n%s", text, again.String())
+	}
+}
+
+func TestBranchWithoutElse(t *testing.T) {
+	prog, err := Parse(strings.NewReader(`
+func f() {
+  a = alloc A
+  branch {
+    a = alloc B
+  }
+}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := prog.Func("f").Body[1]
+	if br.Kind != Branch || len(br.Then) != 1 || br.Else != nil {
+		t.Fatalf("else-less branch wrong: %+v", br)
+	}
+}
+
+func TestBranchParseErrors(t *testing.T) {
+	cases := []string{
+		"branch {\n}",              // outside func
+		"func f() {\n} else {\n}",  // else without branch
+		"func f() {\n branch {\n}", // unterminated
+		"func f() {\n branch {\n } else {\n } else {\n }\n}", // double else
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	prog, err := Parse(strings.NewReader(branchSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []StmtKind
+	Walk(prog.Func("main").Body, func(s *Stmt) { kinds = append(kinds, s.Kind) })
+	want := []StmtKind{Alloc, Branch, Alloc, Branch, Copy, Alloc, Copy}
+	if len(kinds) != len(want) {
+		t.Fatalf("walk visited %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestGenerateProducesBranches(t *testing.T) {
+	prog := Generate(GenOptions{Funcs: 10, VarsPerFunc: 6, StmtsPerFunc: 30, Seed: 2})
+	if prog.Stats()[Branch] == 0 {
+		t.Fatal("generator never emitted a branch")
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Round trip survives branches.
+	again, err := Parse(strings.NewReader(prog.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != prog.String() {
+		t.Fatal("generated program with branches does not round trip")
+	}
+}
+
+func TestValidateRecursesIntoArms(t *testing.T) {
+	bad := &Program{Funcs: []*Func{{
+		Name: "f",
+		Body: []Stmt{{Kind: Branch, Then: []Stmt{{Kind: Alloc, Dst: "p"}}}},
+	}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid nested statement accepted")
+	}
+}

@@ -1,0 +1,29 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: arbitrary text must never panic the parser, and anything it
+// accepts must print-and-reparse to the same program.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("func f() {\n}")
+	f.Add("")
+	f.Add("func f(a, b) {\n *a = b\n x = call f(a, b)\n return x\n}")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		text := prog.String()
+		again, err := Parse(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("accepted program does not reparse: %v\n%s", err, text)
+		}
+		if again.String() != text {
+			t.Fatal("print-parse-print not a fixpoint")
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package ir
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenOptions shape random program generation.
+type GenOptions struct {
+	Funcs        int // number of functions besides main
+	VarsPerFunc  int
+	StmtsPerFunc int
+	Seed         int64
+}
+
+// Generate produces a random but valid program: every function has local
+// variables, allocation sites, heap traffic, and calls to previously
+// generated functions (keeping the call graph acyclic so context cloning
+// always terminates).
+func Generate(opts GenOptions) *Program {
+	if opts.Funcs < 0 || opts.VarsPerFunc < 1 || opts.StmtsPerFunc < 1 {
+		panic("ir: invalid generation options")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	prog := &Program{}
+
+	// Leaf-to-root generation: function fi may call f0..f(i-1).
+	for i := 0; i < opts.Funcs; i++ {
+		name := fmt.Sprintf("f%d", i)
+		nparams := rng.Intn(3)
+		f := &Func{Name: name}
+		for k := 0; k < nparams; k++ {
+			f.Params = append(f.Params, fmt.Sprintf("a%d", k))
+		}
+		genBody(f, prog, rng, opts, i)
+		prog.Funcs = append(prog.Funcs, f)
+	}
+	main := &Func{Name: "main"}
+	genBody(main, prog, rng, opts, opts.Funcs)
+	prog.Funcs = append(prog.Funcs, main)
+	if err := prog.Validate(); err != nil {
+		panic("ir: generator produced invalid program: " + err.Error())
+	}
+	return prog
+}
+
+func genBody(f *Func, prog *Program, rng *rand.Rand, opts GenOptions, idx int) {
+	vars := append([]string(nil), f.Params...)
+	for v := 0; v < opts.VarsPerFunc; v++ {
+		vars = append(vars, fmt.Sprintf("v%d", v))
+	}
+	// Every local needs a defining statement first so later uses are
+	// meaningful; seed each with an allocation or a copy.
+	sites := 0
+	newSite := func() string {
+		sites++
+		return fmt.Sprintf("%s_A%d", f.Name, sites)
+	}
+	initialized := append([]string(nil), f.Params...)
+	pick := func() string {
+		if len(initialized) == 0 {
+			return ""
+		}
+		return initialized[rng.Intn(len(initialized))]
+	}
+	for v := 0; v < opts.VarsPerFunc; v++ {
+		name := fmt.Sprintf("v%d", v)
+		if src := pick(); src != "" && rng.Intn(3) == 0 {
+			f.Body = append(f.Body, Stmt{Kind: Copy, Dst: name, Src: src})
+		} else {
+			f.Body = append(f.Body, Stmt{Kind: Alloc, Dst: name, Site: newSite()})
+		}
+		initialized = append(initialized, name)
+	}
+	simple := func() Stmt {
+		dst, src := pick(), pick()
+		switch rng.Intn(4) {
+		case 0:
+			return Stmt{Kind: Alloc, Dst: dst, Site: newSite()}
+		case 1:
+			return Stmt{Kind: Copy, Dst: dst, Src: src}
+		case 2:
+			return Stmt{Kind: Load, Dst: dst, Src: src}
+		default:
+			return Stmt{Kind: Store, Dst: dst, Src: src}
+		}
+	}
+	for s := 0; s < opts.StmtsPerFunc; s++ {
+		dst, src := pick(), pick()
+		if dst == "" || src == "" {
+			break
+		}
+		switch rng.Intn(7) {
+		case 0:
+			f.Body = append(f.Body, Stmt{Kind: Alloc, Dst: dst, Site: newSite()})
+		case 1:
+			f.Body = append(f.Body, Stmt{Kind: Copy, Dst: dst, Src: src})
+		case 2:
+			f.Body = append(f.Body, Stmt{Kind: Load, Dst: dst, Src: src})
+		case 3:
+			f.Body = append(f.Body, Stmt{Kind: Store, Dst: dst, Src: src})
+		case 4, 5:
+			if idx == 0 || len(prog.Funcs) == 0 {
+				f.Body = append(f.Body, Stmt{Kind: Copy, Dst: dst, Src: src})
+				continue
+			}
+			callee := prog.Funcs[rng.Intn(min(idx, len(prog.Funcs)))]
+			args := make([]string, len(callee.Params))
+			for i := range args {
+				args[i] = pick()
+			}
+			f.Body = append(f.Body, Stmt{Kind: Call, Dst: dst, Callee: callee.Name, Args: args})
+		case 6:
+			br := Stmt{Kind: Branch}
+			for k := rng.Intn(3) + 1; k > 0; k-- {
+				br.Then = append(br.Then, simple())
+			}
+			for k := rng.Intn(3); k > 0; k-- {
+				br.Else = append(br.Else, simple())
+			}
+			f.Body = append(f.Body, br)
+		}
+	}
+	if f.Name != "main" {
+		f.Body = append(f.Body, Stmt{Kind: Return, Src: pick()})
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

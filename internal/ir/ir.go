@@ -1,0 +1,277 @@
+// Package ir defines a small pointer intermediate representation — the
+// program substrate whose points-to results feed the persistence layer. The
+// paper consumes points-to sets exported from LLVM/Paddle/geomPTA; since
+// those are unavailable here, programs in this IR analysed by the Andersen
+// solver (package anders) play that role, as recorded in DESIGN.md.
+//
+// The IR is deliberately minimal but covers everything an inclusion-based
+// pointer analysis cares about:
+//
+//	p = alloc A     allocation (A names the abstract object / site)
+//	p = q           copy
+//	p = *q          load
+//	*p = q          store
+//	p = call f(a,…) direct call with arguments and a returned pointer
+//	return p        function result
+package ir
+
+import "fmt"
+
+// StmtKind enumerates IR statements.
+type StmtKind int
+
+// Statement kinds.
+const (
+	Alloc  StmtKind = iota // Dst = alloc Site
+	Copy                   // Dst = Src
+	Load                   // Dst = *Src
+	Store                  // *Dst = Src
+	Call                   // Dst = call Callee(Args...)
+	Return                 // return Src
+	Branch                 // branch { Then } else { Else } — nondeterministic
+)
+
+func (k StmtKind) String() string {
+	switch k {
+	case Alloc:
+		return "alloc"
+	case Copy:
+		return "copy"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Call:
+		return "call"
+	case Return:
+		return "return"
+	case Branch:
+		return "branch"
+	default:
+		return fmt.Sprintf("StmtKind(%d)", int(k))
+	}
+}
+
+// Stmt is one IR statement. Fields are used according to Kind:
+// Alloc uses Dst, Site; Copy/Load/Store use Dst, Src; Call uses Dst (may be
+// empty), Callee, Args; Return uses Src; Branch uses Then and Else (a
+// nondeterministic two-way split — the IR has no data conditions, which is
+// all a may-points-to analysis observes anyway).
+type Stmt struct {
+	Kind   StmtKind
+	Dst    string
+	Src    string
+	Site   string
+	Callee string
+	Args   []string
+	Then   []Stmt
+	Else   []Stmt
+}
+
+func (s Stmt) String() string {
+	switch s.Kind {
+	case Alloc:
+		return fmt.Sprintf("%s = alloc %s", s.Dst, s.Site)
+	case Copy:
+		return fmt.Sprintf("%s = %s", s.Dst, s.Src)
+	case Load:
+		return fmt.Sprintf("%s = *%s", s.Dst, s.Src)
+	case Store:
+		return fmt.Sprintf("*%s = %s", s.Dst, s.Src)
+	case Call:
+		args := ""
+		for i, a := range s.Args {
+			if i > 0 {
+				args += ", "
+			}
+			args += a
+		}
+		if s.Dst != "" {
+			return fmt.Sprintf("%s = call %s(%s)", s.Dst, s.Callee, args)
+		}
+		return fmt.Sprintf("call %s(%s)", s.Callee, args)
+	case Return:
+		return fmt.Sprintf("return %s", s.Src)
+	case Branch:
+		return fmt.Sprintf("branch{%d stmts}else{%d stmts}", len(s.Then), len(s.Else))
+	default:
+		return fmt.Sprintf("<bad stmt kind %d>", int(s.Kind))
+	}
+}
+
+// Walk invokes fn on every statement of the body, recursing into branch
+// arms, in source order.
+func Walk(body []Stmt, fn func(s *Stmt)) {
+	for i := range body {
+		fn(&body[i])
+		if body[i].Kind == Branch {
+			Walk(body[i].Then, fn)
+			Walk(body[i].Else, fn)
+		}
+	}
+}
+
+// Func is a function: named parameters and a statement list.
+type Func struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+}
+
+// Program is a list of functions. The entry point is "main" when present;
+// otherwise every function is treated as a root.
+type Program struct {
+	Funcs []*Func
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Stats counts statements by kind, including statements nested in branch
+// arms.
+func (p *Program) Stats() map[StmtKind]int {
+	out := map[StmtKind]int{}
+	for _, f := range p.Funcs {
+		Walk(f.Body, func(s *Stmt) { out[s.Kind]++ })
+	}
+	return out
+}
+
+// NumStmts returns the total statement count ("LOC" in Table 2 terms),
+// including statements nested in branch arms.
+func (p *Program) NumStmts() int {
+	n := 0
+	for _, f := range p.Funcs {
+		Walk(f.Body, func(*Stmt) { n++ })
+	}
+	return n
+}
+
+// reserved words can never be identifiers: a variable named "call" or
+// "return" would make the printed form ambiguous.
+var reserved = map[string]bool{
+	"func":   true,
+	"alloc":  true,
+	"call":   true,
+	"return": true,
+}
+
+// ValidName reports whether s is a legal identifier: a letter, '_' or '@'
+// followed by letters, digits, or the punctuation context cloning uses
+// ('@', '#', '.', '_', '$'), and not a reserved word.
+func ValidName(s string) bool {
+	if s == "" || reserved[s] {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || r == '@':
+		case r == '#' || r == '.' || r == '$':
+			if i == 0 {
+				return false
+			}
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func checkName(kind, s string) error {
+	if !ValidName(s) {
+		return fmt.Errorf("ir: invalid %s name %q", kind, s)
+	}
+	return nil
+}
+
+// Validate checks structural sanity: unique, legal function names, calls
+// target existing functions with matching arity, statements have the
+// fields their kind requires, and every identifier is a legal name.
+func (p *Program) Validate() error {
+	seen := map[string]bool{}
+	for _, f := range p.Funcs {
+		if err := checkName("function", f.Name); err != nil {
+			return err
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("ir: duplicate function %q", f.Name)
+		}
+		seen[f.Name] = true
+		for _, param := range f.Params {
+			if err := checkName("parameter", param); err != nil {
+				return err
+			}
+		}
+	}
+	for _, f := range p.Funcs {
+		if err := p.validateBody(f, f.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateBody(f *Func, body []Stmt) error {
+	{
+		for i, s := range body {
+			where := fmt.Sprintf("ir: %s: stmt %d (%s)", f.Name, i, s)
+			switch s.Kind {
+			case Alloc:
+				if !ValidName(s.Dst) || !ValidName(s.Site) {
+					return fmt.Errorf("%s: alloc needs valid dst and site", where)
+				}
+			case Copy, Load:
+				if !ValidName(s.Dst) || !ValidName(s.Src) {
+					return fmt.Errorf("%s: needs valid dst and src", where)
+				}
+			case Store:
+				if !ValidName(s.Dst) || !ValidName(s.Src) {
+					return fmt.Errorf("%s: store needs valid dst and src", where)
+				}
+			case Call:
+				callee := p.Func(s.Callee)
+				if callee == nil {
+					return fmt.Errorf("%s: unknown callee %q", where, s.Callee)
+				}
+				if len(s.Args) != len(callee.Params) {
+					return fmt.Errorf("%s: arity %d, callee wants %d",
+						where, len(s.Args), len(callee.Params))
+				}
+				if s.Dst != "" && !ValidName(s.Dst) {
+					return fmt.Errorf("%s: invalid call destination %q", where, s.Dst)
+				}
+				for _, a := range s.Args {
+					if !ValidName(a) {
+						return fmt.Errorf("%s: invalid argument %q", where, a)
+					}
+				}
+			case Return:
+				if !ValidName(s.Src) {
+					return fmt.Errorf("%s: return needs a valid value", where)
+				}
+			case Branch:
+				if err := p.validateBody(f, s.Then); err != nil {
+					return err
+				}
+				if err := p.validateBody(f, s.Else); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("%s: unknown kind", where)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sample = `
+# A small program exercising every statement kind.
+func main() {
+  a = alloc A1
+  b = a
+  c = *b
+  *a = c
+  r = call id(a)
+  call sink(r)
+}
+
+func id(x) {
+  return x
+}
+
+func sink(v) {
+  g = alloc G
+  *v = g
+  return g
+}
+`
+
+func TestParseSample(t *testing.T) {
+	prog, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Funcs) != 3 {
+		t.Fatalf("parsed %d funcs, want 3", len(prog.Funcs))
+	}
+	main := prog.Func("main")
+	if main == nil || len(main.Body) != 6 {
+		t.Fatalf("main wrong: %+v", main)
+	}
+	wantKinds := []StmtKind{Alloc, Copy, Load, Store, Call, Call}
+	for i, k := range wantKinds {
+		if main.Body[i].Kind != k {
+			t.Errorf("main stmt %d kind = %v, want %v", i, main.Body[i].Kind, k)
+		}
+	}
+	if main.Body[4].Dst != "r" || main.Body[4].Callee != "id" || len(main.Body[4].Args) != 1 {
+		t.Errorf("call stmt wrong: %+v", main.Body[4])
+	}
+	if main.Body[5].Dst != "" {
+		t.Errorf("void call has dst %q", main.Body[5].Dst)
+	}
+	id := prog.Func("id")
+	if len(id.Params) != 1 || id.Params[0] != "x" {
+		t.Errorf("id params = %v", id.Params)
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	prog, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := prog.String()
+	again, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	if again.String() != text {
+		t.Fatal("print-parse-print not a fixpoint")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"x = y",                         // statement outside func
+		"func f() {\n func g() {\n}\n}", // nested
+		"}",                             // unmatched brace
+		"func f() {\n",                  // unterminated
+		"func () {\n}",                  // no name
+		"func f() {\n ???\n}",           // bad stmt
+		"func f() {\n x = call g()\n}",  // unknown callee
+		"func f(a) {\n}\nfunc g() {\n x = call f()\n}", // arity
+		"func f() {\n}\nfunc f() {\n}",                 // duplicate
+		"func f() {\n return\n}",                       // return w/o value is malformed
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestStmtString(t *testing.T) {
+	cases := map[string]Stmt{
+		"p = alloc A":      {Kind: Alloc, Dst: "p", Site: "A"},
+		"p = q":            {Kind: Copy, Dst: "p", Src: "q"},
+		"p = *q":           {Kind: Load, Dst: "p", Src: "q"},
+		"*p = q":           {Kind: Store, Dst: "p", Src: "q"},
+		"p = call f(a, b)": {Kind: Call, Dst: "p", Callee: "f", Args: []string{"a", "b"}},
+		"call f()":         {Kind: Call, Callee: "f"},
+		"return p":         {Kind: Return, Src: "p"},
+	}
+	for want, s := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	bad := &Program{Funcs: []*Func{{Name: "f", Body: []Stmt{{Kind: Alloc, Dst: "p"}}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("alloc without site accepted")
+	}
+	bad2 := &Program{Funcs: []*Func{{Name: "f", Body: []Stmt{{Kind: Call, Callee: "nope"}}}}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("unknown callee accepted")
+	}
+}
+
+func TestGenerateValidAndDeterministic(t *testing.T) {
+	opts := GenOptions{Funcs: 6, VarsPerFunc: 5, StmtsPerFunc: 12, Seed: 42}
+	a := Generate(opts)
+	b := Generate(opts)
+	if a.String() != b.String() {
+		t.Fatal("generation not deterministic")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Func("main") == nil {
+		t.Fatal("no main")
+	}
+	if a.NumStmts() == 0 || a.Stats()[Alloc] == 0 {
+		t.Fatal("trivial program generated")
+	}
+}
+
+func TestQuickGenerateParseRoundTrip(t *testing.T) {
+	f := func(seed int64, funcs, vars, stmts uint8) bool {
+		opts := GenOptions{
+			Funcs:        int(funcs % 8),
+			VarsPerFunc:  1 + int(vars%6),
+			StmtsPerFunc: 1 + int(stmts%20),
+			Seed:         seed,
+		}
+		prog := Generate(opts)
+		again, err := Parse(strings.NewReader(prog.String()))
+		return err == nil && again.String() == prog.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

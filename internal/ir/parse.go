@@ -1,0 +1,244 @@
+package ir
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads the textual IR format:
+//
+//	# comment
+//	func name(param1, param2) {
+//	  p = alloc Site
+//	  p = q
+//	  p = *q
+//	  *p = q
+//	  p = call f(a, b)
+//	  call f(a)
+//	  branch {
+//	    p = alloc Other
+//	  } else {
+//	    p = q
+//	  }
+//	  return p
+//	}
+//
+// A branch's else arm may be omitted by closing with a bare "}".
+func Parse(r io.Reader) (*Program, error) {
+	prog := &Program{}
+
+	// frame is one open block: the function body or a branch arm.
+	type frame struct {
+		fn        *Func  // non-nil only for the function frame
+		stmts     []Stmt // statements collected for the open block
+		inElse    bool   // branch frame: currently in the else arm
+		thenStmts []Stmt // branch frame: completed then arm
+	}
+	var stack []*frame
+	top := func() *frame { return stack[len(stack)-1] }
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "func "):
+			if len(stack) > 0 {
+				return nil, fmt.Errorf("ir: line %d: nested func", lineNo)
+			}
+			f, err := parseFuncHeader(line)
+			if err != nil {
+				return nil, fmt.Errorf("ir: line %d: %w", lineNo, err)
+			}
+			stack = append(stack, &frame{fn: f})
+		case line == "branch {":
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("ir: line %d: branch outside func", lineNo)
+			}
+			stack = append(stack, &frame{})
+		case line == "} else {":
+			if len(stack) < 2 || top().fn != nil || top().inElse {
+				return nil, fmt.Errorf("ir: line %d: unmatched } else {", lineNo)
+			}
+			f := top()
+			f.thenStmts = f.stmts
+			f.stmts = nil
+			f.inElse = true
+		case line == "}":
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("ir: line %d: unmatched }", lineNo)
+			}
+			f := top()
+			stack = stack[:len(stack)-1]
+			if f.fn != nil {
+				f.fn.Body = f.stmts
+				prog.Funcs = append(prog.Funcs, f.fn)
+				continue
+			}
+			st := Stmt{Kind: Branch}
+			if f.inElse {
+				st.Then, st.Else = f.thenStmts, f.stmts
+			} else {
+				st.Then = f.stmts
+			}
+			top().stmts = append(top().stmts, st)
+		default:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("ir: line %d: statement outside func", lineNo)
+			}
+			s, err := parseStmt(line)
+			if err != nil {
+				return nil, fmt.Errorf("ir: line %d: %w", lineNo, err)
+			}
+			top().stmts = append(top().stmts, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(stack) > 0 {
+		return nil, fmt.Errorf("ir: unterminated block")
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func parseFuncHeader(line string) (*Func, error) {
+	rest := strings.TrimPrefix(line, "func ")
+	rest = strings.TrimSpace(rest)
+	if !strings.HasSuffix(rest, "{") {
+		return nil, fmt.Errorf("func header %q does not end with {", line)
+	}
+	rest = strings.TrimSpace(strings.TrimSuffix(rest, "{"))
+	open := strings.IndexByte(rest, '(')
+	closeIdx := strings.LastIndexByte(rest, ')')
+	if open < 0 || closeIdx < open || strings.TrimSpace(rest[closeIdx+1:]) != "" {
+		return nil, fmt.Errorf("malformed func header %q", line)
+	}
+	name := strings.TrimSpace(rest[:open])
+	if name == "" {
+		return nil, fmt.Errorf("func without a name")
+	}
+	f := &Func{Name: name}
+	params := strings.TrimSpace(rest[open+1 : closeIdx])
+	if params != "" {
+		for _, p := range strings.Split(params, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				return nil, fmt.Errorf("empty parameter in %q", line)
+			}
+			f.Params = append(f.Params, p)
+		}
+	}
+	return f, nil
+}
+
+func parseStmt(line string) (Stmt, error) {
+	if strings.HasPrefix(line, "return ") {
+		return Stmt{Kind: Return, Src: strings.TrimSpace(strings.TrimPrefix(line, "return "))}, nil
+	}
+	if strings.HasPrefix(line, "call ") {
+		callee, args, err := parseCallExpr(strings.TrimPrefix(line, "call "))
+		if err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Kind: Call, Callee: callee, Args: args}, nil
+	}
+	eq := strings.Index(line, "=")
+	if eq < 0 {
+		return Stmt{}, fmt.Errorf("malformed statement %q", line)
+	}
+	lhs := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	if lhs == "" || rhs == "" {
+		return Stmt{}, fmt.Errorf("malformed statement %q", line)
+	}
+	if strings.HasPrefix(lhs, "*") {
+		return Stmt{Kind: Store, Dst: strings.TrimSpace(lhs[1:]), Src: rhs}, nil
+	}
+	switch {
+	case strings.HasPrefix(rhs, "alloc "):
+		return Stmt{Kind: Alloc, Dst: lhs, Site: strings.TrimSpace(strings.TrimPrefix(rhs, "alloc "))}, nil
+	case strings.HasPrefix(rhs, "call "):
+		callee, args, err := parseCallExpr(strings.TrimPrefix(rhs, "call "))
+		if err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Kind: Call, Dst: lhs, Callee: callee, Args: args}, nil
+	case strings.HasPrefix(rhs, "*"):
+		return Stmt{Kind: Load, Dst: lhs, Src: strings.TrimSpace(rhs[1:])}, nil
+	default:
+		return Stmt{Kind: Copy, Dst: lhs, Src: rhs}, nil
+	}
+}
+
+func parseCallExpr(expr string) (callee string, args []string, err error) {
+	expr = strings.TrimSpace(expr)
+	open := strings.IndexByte(expr, '(')
+	closeIdx := strings.LastIndexByte(expr, ')')
+	if open < 0 || closeIdx < open {
+		return "", nil, fmt.Errorf("malformed call %q", expr)
+	}
+	callee = strings.TrimSpace(expr[:open])
+	if callee == "" {
+		return "", nil, fmt.Errorf("call without callee in %q", expr)
+	}
+	inner := strings.TrimSpace(expr[open+1 : closeIdx])
+	if inner != "" {
+		for _, a := range strings.Split(inner, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return "", nil, fmt.Errorf("empty argument in %q", expr)
+			}
+			args = append(args, a)
+		}
+	}
+	return callee, args, nil
+}
+
+// Print writes the program in the textual format Parse accepts.
+func (p *Program) Print(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i, f := range p.Funcs {
+		if i > 0 {
+			fmt.Fprintln(bw)
+		}
+		fmt.Fprintf(bw, "func %s(%s) {\n", f.Name, strings.Join(f.Params, ", "))
+		printBody(bw, f.Body, 1)
+		fmt.Fprintln(bw, "}")
+	}
+	return bw.Flush()
+}
+
+func printBody(bw *bufio.Writer, body []Stmt, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, s := range body {
+		if s.Kind == Branch {
+			fmt.Fprintf(bw, "%sbranch {\n", indent)
+			printBody(bw, s.Then, depth+1)
+			if len(s.Else) > 0 {
+				fmt.Fprintf(bw, "%s} else {\n", indent)
+				printBody(bw, s.Else, depth+1)
+			}
+			fmt.Fprintf(bw, "%s}\n", indent)
+			continue
+		}
+		fmt.Fprintf(bw, "%s%s\n", indent, s)
+	}
+}
+
+// String renders the program as text.
+func (p *Program) String() string {
+	var sb strings.Builder
+	_ = p.Print(&sb)
+	return sb.String()
+}

@@ -1,0 +1,135 @@
+package matrix
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Text facts format: the lowest-common-denominator export real analyses
+// produce — one "pointer object" pair per line, names as opaque tokens.
+// ReadFacts assigns dense IDs in first-appearance order and returns the
+// name tables, giving external tools (LLVM passes, Soot printers, Datalog
+// dumps) a direct ingestion path into the persistence layer.
+
+// Facts is a points-to matrix together with the name tables of a textual
+// import.
+type Facts struct {
+	PM           *PointsTo
+	PointerNames []string
+	ObjectNames  []string
+
+	pointerIdx map[string]int
+	objectIdx  map[string]int
+}
+
+// PointerID resolves a pointer name to its row, or -1.
+func (f *Facts) PointerID(name string) int {
+	if i, ok := f.pointerIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// ObjectID resolves an object name to its column, or -1.
+func (f *Facts) ObjectID(name string) int {
+	if i, ok := f.objectIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// ReadFacts parses the text format: blank lines and lines starting with
+// '#' are skipped; every other line is "<pointer> <object>" separated by
+// whitespace.
+func ReadFacts(r io.Reader) (*Facts, error) {
+	f := &Facts{
+		pointerIdx: map[string]int{},
+		objectIdx:  map[string]int{},
+	}
+	type pair struct{ p, o int }
+	var pairs []pair
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("matrix: facts line %d: want \"pointer object\", got %q", lineNo, line)
+		}
+		p, ok := f.pointerIdx[fields[0]]
+		if !ok {
+			p = len(f.PointerNames)
+			f.pointerIdx[fields[0]] = p
+			f.PointerNames = append(f.PointerNames, fields[0])
+		}
+		o, ok := f.objectIdx[fields[1]]
+		if !ok {
+			o = len(f.ObjectNames)
+			f.objectIdx[fields[1]] = o
+			f.ObjectNames = append(f.ObjectNames, fields[1])
+		}
+		pairs = append(pairs, pair{p, o})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	f.PM = New(len(f.PointerNames), len(f.ObjectNames))
+	for _, pr := range pairs {
+		f.PM.Add(pr.p, pr.o)
+	}
+	return f, nil
+}
+
+// WriteFacts writes pm in the text format using the given name tables (nil
+// tables fall back to p<i>/o<j>). Facts are emitted in row order, so the
+// output is deterministic.
+func WriteFacts(w io.Writer, pm *PointsTo, pointerNames, objectNames []string) error {
+	bw := bufio.NewWriter(w)
+	pname := func(p int) string {
+		if p < len(pointerNames) {
+			return pointerNames[p]
+		}
+		return fmt.Sprintf("p%d", p)
+	}
+	oname := func(o int) string {
+		if o < len(objectNames) {
+			return objectNames[o]
+		}
+		return fmt.Sprintf("o%d", o)
+	}
+	for p := 0; p < pm.NumPointers; p++ {
+		var err error
+		pm.Row(p).ForEach(func(o int) bool {
+			_, err = fmt.Fprintf(bw, "%s %s\n", pname(p), oname(o))
+			return err == nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// NamesByID returns the pointer and object names sorted by ID — handy for
+// diagnostics.
+func (f *Facts) NamesByID() (pointers, objects []string) {
+	pointers = append([]string(nil), f.PointerNames...)
+	objects = append([]string(nil), f.ObjectNames...)
+	return pointers, objects
+}
+
+// SortedPointerNames returns the pointer names in lexical order (the IDs
+// stay first-appearance ordered; this is purely for stable reporting).
+func (f *Facts) SortedPointerNames() []string {
+	out := append([]string(nil), f.PointerNames...)
+	sort.Strings(out)
+	return out
+}

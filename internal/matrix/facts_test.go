@@ -1,0 +1,130 @@
+package matrix
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadFactsBasic(t *testing.T) {
+	src := `
+# a comment
+p1 o1
+p2 o1
+
+p1 o2
+p1 o1
+`
+	f, err := ReadFacts(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.PM.NumPointers != 2 || f.PM.NumObjects != 2 {
+		t.Fatalf("dims %d×%d", f.PM.NumPointers, f.PM.NumObjects)
+	}
+	if f.PM.Edges() != 3 { // duplicate fact collapses
+		t.Fatalf("edges = %d", f.PM.Edges())
+	}
+	p1, o2 := f.PointerID("p1"), f.ObjectID("o2")
+	if p1 < 0 || o2 < 0 || !f.PM.Has(p1, o2) {
+		t.Fatal("lookup or fact missing")
+	}
+	if f.PointerID("nope") != -1 || f.ObjectID("nope") != -1 {
+		t.Fatal("missing names should be -1")
+	}
+	ps, os := f.NamesByID()
+	if len(ps) != 2 || len(os) != 2 || ps[0] != "p1" {
+		t.Fatalf("names %v %v", ps, os)
+	}
+	if got := f.SortedPointerNames(); got[0] != "p1" || got[1] != "p2" {
+		t.Fatalf("sorted names %v", got)
+	}
+}
+
+func TestReadFactsRejectsMalformed(t *testing.T) {
+	for _, src := range []string{"p", "a b c", "x\ty\tz"} {
+		if _, err := ReadFacts(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestReadFactsEmpty(t *testing.T) {
+	f, err := ReadFacts(strings.NewReader("# nothing\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.PM.NumPointers != 0 || f.PM.NumObjects != 0 {
+		t.Fatal("empty input not empty")
+	}
+}
+
+func TestWriteReadFactsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pm := randomPM(rng, 1+rng.Intn(20), 1+rng.Intn(20), rng.Intn(100))
+		var buf bytes.Buffer
+		if err := WriteFacts(&buf, pm, nil, nil); err != nil {
+			return false
+		}
+		got, err := ReadFacts(&buf)
+		if err != nil {
+			return false
+		}
+		// IDs may be renumbered (first-appearance order); compare by
+		// name through the tables.
+		if got.PM.Edges() != pm.Edges() {
+			return false
+		}
+		for p := 0; p < pm.NumPointers; p++ {
+			gp := got.PointerID(pname(p))
+			ok := true
+			pm.Row(p).ForEach(func(o int) bool {
+				go_ := got.ObjectID(oname(o))
+				if gp < 0 || go_ < 0 || !got.PM.Has(gp, go_) {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pname(p int) string { return "p" + itoa(p) }
+func oname(o int) string { return "o" + itoa(o) }
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestWriteFactsWithNames(t *testing.T) {
+	pm := New(2, 2)
+	pm.Add(0, 1)
+	pm.Add(1, 0)
+	var buf bytes.Buffer
+	if err := WriteFacts(&buf, pm, []string{"main.x", "main.y"}, []string{"A", "B"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "main.x B") || !strings.Contains(out, "main.y A") {
+		t.Fatalf("output:\n%s", out)
+	}
+}

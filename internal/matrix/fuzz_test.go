@@ -1,0 +1,33 @@
+package matrix
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead: arbitrary bytes must never panic the matrix decoders.
+func FuzzRead(f *testing.F) {
+	pm := New(3, 2)
+	pm.Add(0, 1)
+	pm.Add(2, 0)
+	var buf bytes.Buffer
+	if _, err := pm.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	var raw bytes.Buffer
+	if _, err := pm.WriteRaw(&raw); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw.Bytes())
+	f.Add([]byte("PTM1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if got, err := Read(bytes.NewReader(data)); err == nil {
+			got.Edges() // decoded matrices must be usable
+		}
+		if got, err := ReadRaw(bytes.NewReader(data)); err == nil {
+			got.Edges()
+		}
+	})
+}

@@ -1,0 +1,190 @@
+package matrix
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"pestrie/internal/bitmap"
+)
+
+// Matrix file format ("PTM1"): the raw exported points-to information a
+// points-to analysis hands to the persistence layer. This plays the role of
+// the normalized matrix of §2 and §6 and is the input to every encoder
+// (Pestrie, bitmap, BDD, bzip).
+//
+//	magic "PTM1"
+//	uvarint numPointers
+//	uvarint numObjects
+//	numPointers × delta-varint bitmap rows (see bitmap.WriteTo)
+
+const matrixMagic = "PTM1"
+
+// WriteTo serializes the matrix. It returns the number of bytes written.
+func (pm *PointsTo) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	n, err := bw.WriteString(matrixMagic)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for _, v := range []uint64{uint64(pm.NumPointers), uint64(pm.NumObjects)} {
+		k := binary.PutUvarint(buf[:], v)
+		n, err := bw.Write(buf[:k])
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	for p := 0; p < pm.NumPointers; p++ {
+		n, err := pm.Row(p).WriteTo(bw)
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// WriteRaw writes the matrix in the raw fixed-width export format a
+// points-to analysis typically dumps (and the input the off-the-shelf
+// compressor baseline consumes): for each pointer a uint32 count followed
+// by the uint32 object IDs, little-endian. This is the "gigabytes of
+// pointer information" representation of §1, before any clever encoding.
+func (pm *PointsTo) WriteRaw(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	var buf [4]byte
+	put := func(v uint32) error {
+		binary.LittleEndian.PutUint32(buf[:], v)
+		n, err := bw.Write(buf[:])
+		written += int64(n)
+		return err
+	}
+	if err := put(uint32(pm.NumPointers)); err != nil {
+		return written, err
+	}
+	if err := put(uint32(pm.NumObjects)); err != nil {
+		return written, err
+	}
+	for p := 0; p < pm.NumPointers; p++ {
+		row := pm.Row(p)
+		if err := put(uint32(row.Count())); err != nil {
+			return written, err
+		}
+		var ferr error
+		row.ForEach(func(o int) bool {
+			ferr = put(uint32(o))
+			return ferr == nil
+		})
+		if ferr != nil {
+			return written, ferr
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadRaw deserializes a matrix written by WriteRaw.
+func ReadRaw(r io.Reader) (*PointsTo, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	var buf [4]byte
+	get := func() (uint32, error) {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:]), nil
+	}
+	np, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("matrix: raw pointer count: %w", err)
+	}
+	no, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("matrix: raw object count: %w", err)
+	}
+	const limit = 1 << 28
+	if np > limit || no > limit {
+		return nil, fmt.Errorf("matrix: implausible raw dimensions %d×%d", np, no)
+	}
+	pm := New(int(np), int(no))
+	for p := 0; p < int(np); p++ {
+		count, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("matrix: raw row %d count: %w", p, err)
+		}
+		if count > no {
+			return nil, fmt.Errorf("matrix: raw row %d count %d exceeds objects", p, count)
+		}
+		for i := uint32(0); i < count; i++ {
+			o, err := get()
+			if err != nil {
+				return nil, fmt.Errorf("matrix: raw row %d member: %w", p, err)
+			}
+			if o >= no {
+				return nil, fmt.Errorf("matrix: raw row %d object %d out of range", p, o)
+			}
+			pm.Add(p, int(o))
+		}
+	}
+	return pm, nil
+}
+
+// Read deserializes a matrix written by WriteTo. When r is already a
+// *bufio.Reader it is used directly, so several matrices can be read back to
+// back from one stream without losing read-ahead bytes.
+func Read(r io.Reader) (*PointsTo, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	magic := make([]byte, len(matrixMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("matrix: reading magic: %w", err)
+	}
+	if string(magic) != matrixMagic {
+		return nil, fmt.Errorf("matrix: bad magic %q", magic)
+	}
+	np, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("matrix: reading pointer count: %w", err)
+	}
+	no, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("matrix: reading object count: %w", err)
+	}
+	const limit = 1 << 28
+	if np > limit || no > limit {
+		return nil, fmt.Errorf("matrix: implausible dimensions %d×%d", np, no)
+	}
+	pm := New(int(np), int(no))
+	for p := 0; p < int(np); p++ {
+		row, err := readRow(br, int(no))
+		if err != nil {
+			return nil, fmt.Errorf("matrix: row %d: %w", p, err)
+		}
+		if row != nil {
+			pm.rows[p] = row
+		}
+	}
+	return pm, nil
+}
+
+func readRow(br *bufio.Reader, numObjects int) (*bitmap.Sparse, error) {
+	s, err := bitmap.ReadSparse(br)
+	if err != nil {
+		return nil, err
+	}
+	if s.Empty() {
+		return nil, nil
+	}
+	if max := s.Max(); max >= numObjects {
+		return nil, fmt.Errorf("object %d out of range [0,%d)", max, numObjects)
+	}
+	return s, nil
+}

@@ -1,0 +1,57 @@
+// Package perf provides the small measurement utilities shared by the
+// experiment harness: wall-clock timing of closures and human-readable
+// formatting of byte sizes and ratios.
+package perf
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time runs fn and returns its wall-clock duration.
+func Time(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// TimeN runs fn n times and returns the total duration and the per-call
+// average.
+func TimeN(n int, fn func()) (total, avg time.Duration) {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		fn()
+	}
+	total = time.Since(start)
+	if n > 0 {
+		avg = total / time.Duration(n)
+	}
+	return total, avg
+}
+
+// Bytes renders a byte count with a binary unit suffix.
+func Bytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Ratio renders a/b as "N.N×", guarding against a zero denominator.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.1f×", a/b)
+}
+
+// Ms renders a duration in milliseconds with one decimal.
+func Ms(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+}

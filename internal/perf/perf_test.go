@@ -1,0 +1,60 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTime(t *testing.T) {
+	d := Time(func() { time.Sleep(2 * time.Millisecond) })
+	if d < 2*time.Millisecond {
+		t.Fatalf("Time = %v, want >= 2ms", d)
+	}
+}
+
+func TestTimeN(t *testing.T) {
+	n := 0
+	total, avg := TimeN(5, func() { n++ })
+	if n != 5 {
+		t.Fatalf("ran %d times", n)
+	}
+	if avg > total {
+		t.Fatal("avg exceeds total")
+	}
+	total, avg = TimeN(0, func() { t.Fatal("should not run") })
+	if total < 0 || avg != 0 {
+		t.Fatal("zero-iteration TimeN wrong")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int64]string{
+		0:       "0B",
+		512:     "512B",
+		1 << 10: "1.0KiB",
+		1536:    "1.5KiB",
+		1 << 20: "1.0MiB",
+		3 << 30: "3.0GiB",
+	}
+	for in, want := range cases {
+		if got := Bytes(in); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(3, 2); got != "1.5×" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "—" {
+		t.Errorf("Ratio zero denominator = %q", got)
+	}
+}
+
+func TestMs(t *testing.T) {
+	if got := Ms(1500 * time.Microsecond); !strings.HasPrefix(got, "1.5") || !strings.HasSuffix(got, "ms") {
+		t.Errorf("Ms = %q", got)
+	}
+}

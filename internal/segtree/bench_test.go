@@ -1,0 +1,29 @@
+package segtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkInsertAndCover(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 1 << 14
+	rects := genDisjointRects(rng, n, 2000)
+	b.Run("insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := NewTree(n)
+			for _, r := range rects {
+				tr.Insert(r)
+			}
+		}
+	})
+	tr := NewTree(n)
+	for _, r := range rects {
+		tr.Insert(r)
+	}
+	b.Run("cover", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr.Covers(i%n, (i*7)%n)
+		}
+	})
+}

@@ -1,0 +1,64 @@
+// Package segtree implements the point-enclosure index of §3.4.1: a segment
+// tree over the timestamp axis whose nodes hold, in a balanced tree sorted
+// by Y1, the rectangles intersected by the vertical line x = mid. It is used
+// while generating Pestrie rectangle labels to discard rectangles that are
+// enclosed by previously generated ones (Theorem 2 guarantees enclosure can
+// be detected by testing the lower-left corner alone).
+package segtree
+
+import "fmt"
+
+// Rect is a rectangle label <X1, X2, Y1, Y2> (§3.4.1): the cross product of
+// two disjoint interval labels, with X1 ≤ X2 < Y1 ≤ Y2 by convention.
+type Rect struct {
+	X1, X2, Y1, Y2 int
+	// Case1 marks rectangles whose [Y1,Y2] side is a whole PES interval;
+	// those additionally encode points-to facts (Y1 is the pre-order
+	// timestamp of an origin node).
+	Case1 bool
+}
+
+// Canonical reports whether the rectangle respects the X1 ≤ X2 < Y1 ≤ Y2
+// ordering convention.
+func (r Rect) Canonical() bool {
+	return r.X1 <= r.X2 && r.X2 < r.Y1 && r.Y1 <= r.Y2
+}
+
+// Contains reports whether the point (x, y) lies inside r.
+func (r Rect) Contains(x, y int) bool {
+	return r.X1 <= x && x <= r.X2 && r.Y1 <= y && y <= r.Y2
+}
+
+// Encloses reports whether r fully contains s.
+func (r Rect) Encloses(s Rect) bool {
+	return r.X1 <= s.X1 && s.X2 <= r.X2 && r.Y1 <= s.Y1 && s.Y2 <= r.Y2
+}
+
+// Overlaps reports whether r and s share at least one point.
+func (r Rect) Overlaps(s Rect) bool {
+	return r.X1 <= s.X2 && s.X1 <= r.X2 && r.Y1 <= s.Y2 && s.Y1 <= r.Y2
+}
+
+// IsPoint reports whether the rectangle degenerates to a single point.
+func (r Rect) IsPoint() bool { return r.X1 == r.X2 && r.Y1 == r.Y2 }
+
+// IsVLine reports whether the rectangle degenerates to a vertical line
+// (single column, multiple rows).
+func (r Rect) IsVLine() bool { return r.X1 == r.X2 && r.Y1 != r.Y2 }
+
+// IsHLine reports whether the rectangle degenerates to a horizontal line.
+func (r Rect) IsHLine() bool { return r.X1 != r.X2 && r.Y1 == r.Y2 }
+
+// Transpose swaps the X and Y sides; the alias relation is symmetric, so
+// query structures index both orientations (§4).
+func (r Rect) Transpose() Rect {
+	return Rect{X1: r.Y1, X2: r.Y2, Y1: r.X1, Y2: r.X2, Case1: r.Case1}
+}
+
+func (r Rect) String() string {
+	c := ""
+	if r.Case1 {
+		c = "*"
+	}
+	return fmt.Sprintf("<%d,%d,%d,%d>%s", r.X1, r.X2, r.Y1, r.Y2, c)
+}

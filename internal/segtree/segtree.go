@@ -1,0 +1,105 @@
+package segtree
+
+// Tree is the segment tree of §3.4.1 over the half-open timestamp range
+// [0, N). Each node covers a segment [lo, hi) with midpoint mid; a rectangle
+// is stored at the topmost node whose midpoint its X interval covers, in
+// that node's treap sorted by Y1.
+//
+// The intended usage maintains the invariant (Theorem 2) that no two stored
+// rectangles partially overlap; under that invariant, rectangles stored at
+// the same node have pairwise disjoint Y ranges, so a point query needs one
+// floor lookup per node on the root-to-leaf search path: O(log² N) total.
+type Tree struct {
+	n    int
+	root *segNode
+	size int
+}
+
+type segNode struct {
+	lo, hi, mid int
+	rects       *treap
+	left, right *segNode
+}
+
+// NewTree returns a segment tree covering timestamps [0, n).
+func NewTree(n int) *Tree {
+	if n < 0 {
+		panic("segtree: negative range")
+	}
+	return &Tree{n: n}
+}
+
+func (t *Tree) node(lo, hi int, existing *segNode) *segNode {
+	if existing != nil {
+		return existing
+	}
+	return &segNode{lo: lo, hi: hi, mid: (lo + hi) / 2, rects: newTreap(uint64(lo)*2654435761 + uint64(hi))}
+}
+
+// Insert stores r. r must lie within [0, N) on both axes and must not
+// partially overlap any stored rectangle (callers guarantee this via the
+// Theorem-2 enclosure check before inserting).
+func (t *Tree) Insert(r Rect) {
+	if t.n == 0 {
+		panic("segtree: insert into empty range")
+	}
+	if r.X1 < 0 || r.X2 >= t.n || r.Y1 < 0 || r.Y2 >= t.n || r.X1 > r.X2 || r.Y1 > r.Y2 {
+		panic("segtree: rectangle out of range")
+	}
+	t.root = t.node(0, t.n, t.root)
+	n := t.root
+	for {
+		if r.X2 < n.mid {
+			n.left = t.node(n.lo, n.mid, n.left)
+			n = n.left
+		} else if r.X1 > n.mid {
+			n.right = t.node(n.mid+1, n.hi, n.right)
+			n = n.right
+		} else {
+			n.rects.insert(r)
+			t.size++
+			return
+		}
+	}
+}
+
+// CoverOf returns a stored rectangle containing the point (x, y), if one
+// exists. Under the no-partial-overlap invariant the answer is unique.
+func (t *Tree) CoverOf(x, y int) (Rect, bool) {
+	for n := t.root; n != nil; {
+		if r, ok := n.rects.floor(y); ok && r.Contains(x, y) {
+			return r, true
+		}
+		if x < n.mid {
+			n = n.left
+		} else if x > n.mid {
+			n = n.right
+		} else {
+			break
+		}
+	}
+	return Rect{}, false
+}
+
+// Covers reports whether any stored rectangle contains the point (x, y).
+func (t *Tree) Covers(x, y int) bool {
+	_, ok := t.CoverOf(x, y)
+	return ok
+}
+
+// Len returns the number of stored rectangles.
+func (t *Tree) Len() int { return t.size }
+
+// Walk visits every stored rectangle in an unspecified order.
+func (t *Tree) Walk(fn func(Rect)) {
+	var rec func(n *segNode)
+	rec = func(n *segNode) {
+		if n == nil {
+			return
+		}
+		n.rects.walk(fn)
+		rec(n.left)
+		rec(n.right)
+	}
+	rec(t.root)
+}

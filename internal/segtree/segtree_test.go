@@ -1,0 +1,238 @@
+package segtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectPredicates(t *testing.T) {
+	r := Rect{X1: 1, X2: 2, Y1: 5, Y2: 6}
+	if !r.Canonical() {
+		t.Error("canonical rect reported non-canonical")
+	}
+	if !r.Contains(1, 5) || !r.Contains(2, 6) || r.Contains(0, 5) || r.Contains(1, 7) {
+		t.Error("Contains wrong")
+	}
+	if !r.Encloses(Rect{X1: 1, X2: 1, Y1: 6, Y2: 6}) {
+		t.Error("Encloses missed inner point")
+	}
+	if r.Encloses(Rect{X1: 0, X2: 2, Y1: 5, Y2: 6}) {
+		t.Error("Encloses accepted wider rect")
+	}
+	if !r.Overlaps(Rect{X1: 2, X2: 3, Y1: 6, Y2: 9}) {
+		t.Error("Overlaps missed corner touch")
+	}
+	if r.Overlaps(Rect{X1: 3, X2: 4, Y1: 5, Y2: 6}) {
+		t.Error("Overlaps spurious")
+	}
+	if !(Rect{X1: 3, X2: 3, Y1: 8, Y2: 8}).IsPoint() {
+		t.Error("IsPoint")
+	}
+	if !(Rect{X1: 3, X2: 3, Y1: 7, Y2: 8}).IsVLine() {
+		t.Error("IsVLine")
+	}
+	if !(Rect{X1: 2, X2: 3, Y1: 8, Y2: 8}).IsHLine() {
+		t.Error("IsHLine")
+	}
+	tr := r.Transpose()
+	if tr.X1 != 5 || tr.X2 != 6 || tr.Y1 != 1 || tr.Y2 != 2 {
+		t.Errorf("Transpose = %v", tr)
+	}
+	if (Rect{X1: 2, X2: 1, Y1: 3, Y2: 4}).Canonical() {
+		t.Error("non-canonical rect accepted")
+	}
+}
+
+func TestPaperRectangles(t *testing.T) {
+	// The seven rectangles of Figure 4, inserted in generation order.
+	rects := []Rect{
+		{X1: 1, X2: 2, Y1: 4, Y2: 4},
+		{X1: 1, X2: 2, Y1: 5, Y2: 6},
+		{X1: 2, X2: 2, Y1: 7, Y2: 7},
+		{X1: 1, X2: 1, Y1: 8, Y2: 8},
+		{X1: 3, X2: 3, Y1: 8, Y2: 8},
+		{X1: 6, X2: 6, Y1: 8, Y2: 8},
+		{X1: 3, X2: 3, Y1: 6, Y2: 6},
+	}
+	tree := NewTree(9)
+	for _, r := range rects {
+		tree.Insert(r)
+	}
+	if tree.Len() != len(rects) {
+		t.Fatalf("Len = %d, want %d", tree.Len(), len(rects))
+	}
+	// The redundant rectangle <1,1,6,6> from the paper's walkthrough: its
+	// corner must be covered by <1,2,5,6>.
+	got, ok := tree.CoverOf(1, 6)
+	if !ok || got != rects[1] {
+		t.Fatalf("CoverOf(1,6) = %v,%v; want %v", got, ok, rects[1])
+	}
+	// Every corner of every inserted rect is covered by itself.
+	for _, r := range rects {
+		for _, pt := range [][2]int{{r.X1, r.Y1}, {r.X1, r.Y2}, {r.X2, r.Y1}, {r.X2, r.Y2}} {
+			if got, ok := tree.CoverOf(pt[0], pt[1]); !ok || got != r {
+				t.Errorf("CoverOf(%d,%d) = %v,%v; want %v", pt[0], pt[1], got, ok, r)
+			}
+		}
+	}
+	// Uncovered points.
+	for _, pt := range [][2]int{{0, 0}, {4, 4}, {1, 7}, {8, 8}, {0, 8}} {
+		if tree.Covers(pt[0], pt[1]) {
+			t.Errorf("Covers(%d,%d) spurious", pt[0], pt[1])
+		}
+	}
+}
+
+func TestInsertPanics(t *testing.T) {
+	tree := NewTree(4)
+	for _, r := range []Rect{
+		{X1: -1, X2: 0, Y1: 1, Y2: 1},
+		{X1: 0, X2: 4, Y1: 1, Y2: 1},
+		{X1: 2, X2: 1, Y1: 3, Y2: 3},
+	} {
+		r := r
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Insert(%v) did not panic", r)
+				}
+			}()
+			tree.Insert(r)
+		}()
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree := NewTree(10)
+	if tree.Covers(3, 3) || tree.Len() != 0 {
+		t.Fatal("empty tree covers a point")
+	}
+	tree.Walk(func(Rect) { t.Fatal("walked a rect in empty tree") })
+}
+
+// genDisjointRects produces random rectangles obeying the Theorem-2
+// invariant: each new rectangle is kept only if it overlaps no kept one.
+func genDisjointRects(rng *rand.Rand, n, limit int) []Rect {
+	var kept []Rect
+	for i := 0; i < limit; i++ {
+		x1 := rng.Intn(n)
+		x2 := x1 + rng.Intn(n-x1)
+		y1 := rng.Intn(n)
+		y2 := y1 + rng.Intn(n-y1)
+		r := Rect{X1: x1, X2: x2, Y1: y1, Y2: y2}
+		ok := true
+		for _, k := range kept {
+			if k.Overlaps(r) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, r)
+		}
+	}
+	return kept
+}
+
+func TestQuickCoverAgainstLinearScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(64)
+		rects := genDisjointRects(rng, n, 40)
+		tree := NewTree(n)
+		for _, r := range rects {
+			tree.Insert(r)
+		}
+		if tree.Len() != len(rects) {
+			return false
+		}
+		for trial := 0; trial < 100; trial++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			want, found := Rect{}, false
+			for _, r := range rects {
+				if r.Contains(x, y) {
+					want, found = r, true
+					break
+				}
+			}
+			got, ok := tree.CoverOf(x, y)
+			if ok != found || (ok && got != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkVisitsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rects := genDisjointRects(rng, 50, 60)
+	tree := NewTree(50)
+	seen := map[Rect]bool{}
+	for _, r := range rects {
+		tree.Insert(r)
+	}
+	tree.Walk(func(r Rect) { seen[r] = true })
+	if len(seen) != len(rects) {
+		t.Fatalf("Walk saw %d rects, want %d", len(seen), len(rects))
+	}
+	for _, r := range rects {
+		if !seen[r] {
+			t.Fatalf("Walk missed %v", r)
+		}
+	}
+}
+
+func TestTreapOrderAndFloor(t *testing.T) {
+	tr := newTreap(1)
+	ys := []int{50, 10, 30, 70, 20, 60, 40}
+	for _, y := range ys {
+		tr.insert(Rect{X1: 0, X2: 0, Y1: y, Y2: y})
+	}
+	if tr.size() != len(ys) {
+		t.Fatalf("size = %d", tr.size())
+	}
+	prev := -1
+	tr.walk(func(r Rect) {
+		if r.Y1 <= prev {
+			t.Fatalf("walk out of order: %d after %d", r.Y1, prev)
+		}
+		prev = r.Y1
+	})
+	for _, tc := range []struct{ q, want int }{{55, 50}, {10, 10}, {70, 70}, {100, 70}, {35, 30}} {
+		got, ok := tr.floor(tc.q)
+		if !ok || got.Y1 != tc.want {
+			t.Errorf("floor(%d) = %v,%v; want Y1=%d", tc.q, got, ok, tc.want)
+		}
+	}
+	if _, ok := tr.floor(9); ok {
+		t.Error("floor below minimum returned a value")
+	}
+}
+
+func TestTreapBalance(t *testing.T) {
+	// Sorted insertion must not degenerate: depth should stay O(log n)-ish.
+	tr := newTreap(42)
+	const n = 4096
+	for i := 0; i < n; i++ {
+		tr.insert(Rect{Y1: i, Y2: i})
+	}
+	var depth func(*treapNode) int
+	depth = func(nd *treapNode) int {
+		if nd == nil {
+			return 0
+		}
+		l, r := depth(nd.left), depth(nd.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	if d := depth(tr.root); d > 64 {
+		t.Fatalf("treap depth %d for %d sorted inserts — degenerated", d, n)
+	}
+}

@@ -1,0 +1,112 @@
+package segtree
+
+// treap is the balanced tree each segment-tree node keeps, sorted by the Y1
+// coordinate of the stored rectangles (§3.4.1: "we use a balanced tree to
+// store the rectangles that are intersected by the vertical line x = mid
+// ... sorted by their Y1 coordinates"). A treap gives expected O(log n)
+// insert/search with deterministic pseudo-random priorities so runs are
+// reproducible.
+type treap struct {
+	root *treapNode
+	rng  uint64
+}
+
+type treapNode struct {
+	rect        Rect
+	prio        uint64
+	left, right *treapNode
+}
+
+func newTreap(seed uint64) *treap {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &treap{rng: seed}
+}
+
+// nextPrio advances an xorshift64* generator.
+func (t *treap) nextPrio() uint64 {
+	x := t.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	t.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// insert adds r keyed by r.Y1. Duplicate keys are permitted (kept to the
+// right) although the disjoint-Y invariant of the callers never produces
+// them.
+func (t *treap) insert(r Rect) {
+	n := &treapNode{rect: r, prio: t.nextPrio()}
+	t.root = insertNode(t.root, n)
+}
+
+func insertNode(root, n *treapNode) *treapNode {
+	if root == nil {
+		return n
+	}
+	if n.rect.Y1 < root.rect.Y1 {
+		root.left = insertNode(root.left, n)
+		if root.left.prio > root.prio {
+			root = rotateRight(root)
+		}
+	} else {
+		root.right = insertNode(root.right, n)
+		if root.right.prio > root.prio {
+			root = rotateLeft(root)
+		}
+	}
+	return root
+}
+
+func rotateRight(n *treapNode) *treapNode {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	return l
+}
+
+func rotateLeft(n *treapNode) *treapNode {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	return r
+}
+
+// floor returns the stored rectangle with the greatest Y1 ≤ y, if any.
+func (t *treap) floor(y int) (Rect, bool) {
+	var best *treapNode
+	for n := t.root; n != nil; {
+		if n.rect.Y1 <= y {
+			best = n
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	if best == nil {
+		return Rect{}, false
+	}
+	return best.rect, true
+}
+
+// walk visits stored rectangles in ascending Y1 order.
+func (t *treap) walk(fn func(Rect)) {
+	var rec func(n *treapNode)
+	rec = func(n *treapNode) {
+		if n == nil {
+			return
+		}
+		rec(n.left)
+		fn(n.rect)
+		rec(n.right)
+	}
+	rec(t.root)
+}
+
+func (t *treap) size() int {
+	n := 0
+	t.walk(func(Rect) { n++ })
+	return n
+}

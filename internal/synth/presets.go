@@ -1,0 +1,163 @@
+package synth
+
+import (
+	"sort"
+
+	"pestrie/internal/matrix"
+)
+
+// AnalysisKind tags which points-to algorithm a preset models. §2 observes
+// that programs processed by the same algorithm share equivalence ratios
+// and hub-degree distributions, so the generator parameters vary by
+// algorithm, not by program.
+type AnalysisKind int
+
+// Analysis kinds of the three Table 2 benchmark groups.
+const (
+	// CFlowSensitive models the flow-sensitive analysis of Lhoták et al.
+	// applied to the C programs (samba, gs, php, postgreSQL).
+	CFlowSensitive AnalysisKind = iota
+	// JavaObjSensitive models Paddle's 1-object-sensitive analysis with
+	// heap cloning on Dacapo-2006 (antlr, luindex, bloat, chart).
+	JavaObjSensitive
+	// JavaGeom models geomPTA on Dacapo-9.12 (batik, sunflow, tomcat,
+	// fop).
+	JavaGeom
+)
+
+func (k AnalysisKind) String() string {
+	switch k {
+	case CFlowSensitive:
+		return "C/flow-sensitive"
+	case JavaObjSensitive:
+		return "Java/1-object-sensitive"
+	case JavaGeom:
+		return "Java/geomPTA"
+	default:
+		return "unknown"
+	}
+}
+
+// Preset is one Table 2 benchmark, scaled.
+type Preset struct {
+	Name     string
+	Language string
+	Analysis AnalysisKind
+	// KLOC is the paper's reported LOC (in thousands) for Table 2.
+	KLOC float64
+	// Pointers/Objects are the paper's full-scale counts; Generate scales
+	// them down by Scale.
+	Pointers int
+	Objects  int
+}
+
+// Presets mirrors Table 2 of the paper.
+var Presets = []Preset{
+	{Name: "samba", Language: "C", Analysis: CFlowSensitive, KLOC: 2112.7, Pointers: 1004880, Objects: 237201},
+	{Name: "gs", Language: "C", Analysis: CFlowSensitive, KLOC: 1508.1, Pointers: 711082, Objects: 150009},
+	{Name: "php", Language: "C", Analysis: CFlowSensitive, KLOC: 1312.4, Pointers: 673156, Objects: 146760},
+	{Name: "postgreSQL", Language: "C", Analysis: CFlowSensitive, KLOC: 1189.2, Pointers: 584774, Objects: 131886},
+	{Name: "antlr", Language: "Java", Analysis: JavaObjSensitive, KLOC: 75.4, Pointers: 302560, Objects: 76970},
+	{Name: "luindex", Language: "Java", Analysis: JavaObjSensitive, KLOC: 67.4, Pointers: 269878, Objects: 70426},
+	{Name: "bloat", Language: "Java", Analysis: JavaObjSensitive, KLOC: 188.4, Pointers: 625056, Objects: 129471},
+	{Name: "chart", Language: "Java", Analysis: JavaObjSensitive, KLOC: 375.1, Pointers: 890971, Objects: 234811},
+	{Name: "batik", Language: "Java", Analysis: JavaGeom, KLOC: 404.5, Pointers: 766238, Objects: 137488},
+	{Name: "sunflow", Language: "Java", Analysis: JavaGeom, KLOC: 326.2, Pointers: 552974, Objects: 106456},
+	{Name: "tomcat", Language: "Java", Analysis: JavaGeom, KLOC: 357.5, Pointers: 657394, Objects: 103627},
+	{Name: "fop", Language: "Java", Analysis: JavaGeom, KLOC: 415.1, Pointers: 1173406, Objects: 201122},
+}
+
+// PresetByName returns the preset with the given name, or nil.
+func PresetByName(name string) *Preset {
+	for i := range Presets {
+		if Presets[i].Name == name {
+			return &Presets[i]
+		}
+	}
+	return nil
+}
+
+// DefaultScale shrinks the paper's full-size benchmarks to something a
+// single test run handles comfortably (~100× smaller).
+const DefaultScale = 0.01
+
+// Config returns the generator configuration for the preset at the given
+// scale (≤ 0 selects DefaultScale). Parameters vary by analysis group per
+// the §2 observation.
+func (p *Preset) Config(scale float64) Config {
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	cfg := Config{
+		Pointers: atLeast(int(float64(p.Pointers)*scale), 16),
+		Objects:  atLeast(int(float64(p.Objects)*scale), 8),
+		Seed:     int64(len(p.Name))<<32 + int64(p.Pointers),
+	}
+	switch p.Analysis {
+	case CFlowSensitive:
+		// Flow-sensitive C: many SSA-like pointer versions share sets,
+		// moderate hubs (globals, heap blobs).
+		cfg.ClassRatio = 0.15
+		cfg.HubExponent = 1.35
+		cfg.MeanPtsSize = 12
+		cfg.HubOffset = 2
+		cfg.EmptyFrac = 0.10
+	case JavaObjSensitive:
+		// 1-object-sensitive with heap cloning: more classes, strong
+		// hubs (strings, chars, shared library objects).
+		cfg.ClassRatio = 0.20
+		cfg.HubExponent = 1.25
+		cfg.MeanPtsSize = 16
+		cfg.HubOffset = 2
+		cfg.EmptyFrac = 0.08
+	case JavaGeom:
+		cfg.ClassRatio = 0.22
+		cfg.HubExponent = 1.30
+		cfg.MeanPtsSize = 14
+		cfg.HubOffset = 2
+		cfg.EmptyFrac = 0.08
+	}
+	return cfg
+}
+
+// Generate builds the preset's matrix at the given scale.
+func (p *Preset) Generate(scale float64) *matrix.PointsTo {
+	return Generate(p.Config(scale))
+}
+
+func atLeast(v, floor int) int {
+	if v < floor {
+		return floor
+	}
+	return v
+}
+
+// BasePointers returns a deterministic subset of pointers standing for the
+// base pointers of loads and stores — the query population of §7.1.1.
+// Dereferenced pointers skew toward larger points-to sets (they address
+// heap structures), so the subset takes every strideth pointer from the
+// population ordered by descending points-to set size.
+func BasePointers(pm *matrix.PointsTo, stride int) []int {
+	if stride < 1 {
+		stride = 1
+	}
+	type ps struct{ p, size int }
+	all := make([]ps, 0, pm.NumPointers)
+	for p := 0; p < pm.NumPointers; p++ {
+		if n := pm.Row(p).Count(); n > 0 {
+			all = append(all, ps{p, n})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].size != all[j].size {
+			return all[i].size > all[j].size
+		}
+		return all[i].p < all[j].p
+	})
+	var out []int
+	for i := 0; i < len(all); i += stride {
+		out = append(out, all[i].p)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,134 @@
+// Package synth generates synthetic points-to matrices whose statistics
+// match the characteristics the paper measures in §2: a controllable number
+// of pointer equivalence classes (Figure 1 reports classes ≈ 18.5% of
+// pointers on average), object-popularity skew that produces hub objects
+// (70.2% of objects above hub degree 5000), and heavy-tailed points-to set
+// sizes. It also provides presets named after the Table 2 benchmarks,
+// scaled down ~100× so the full evaluation runs on one machine, as recorded
+// in DESIGN.md.
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"pestrie/internal/matrix"
+)
+
+// Config controls matrix generation.
+type Config struct {
+	Pointers int
+	Objects  int
+
+	// ClassRatio is the fraction of pointer equivalence classes over
+	// pointers (0 < ClassRatio ≤ 1). Pointers inside a class share their
+	// points-to set verbatim.
+	ClassRatio float64
+
+	// HubExponent is the Zipf exponent (> 1) of object popularity: larger
+	// values concentrate points-to sets on fewer hub objects.
+	HubExponent float64
+
+	// HubOffset is the Zipf offset v (P(k) ∝ 1/(v+k)^s): larger values
+	// soften the head so the single most popular object does not absorb
+	// every points-to set. 0 selects 1.
+	HubOffset float64
+
+	// MeanPtsSize is the average points-to set size per class; individual
+	// sizes are heavy-tailed around it.
+	MeanPtsSize float64
+
+	// EmptyFrac is the fraction of pointers left with empty points-to
+	// sets (dead or integer-typed variables in real exports).
+	EmptyFrac float64
+
+	Seed int64
+}
+
+// Generate builds a matrix according to cfg. It panics on nonsensical
+// configurations (non-positive dimensions or ratios out of range).
+func Generate(cfg Config) *matrix.PointsTo {
+	if cfg.Pointers <= 0 || cfg.Objects <= 0 {
+		panic("synth: dimensions must be positive")
+	}
+	if cfg.ClassRatio <= 0 || cfg.ClassRatio > 1 {
+		panic("synth: ClassRatio out of (0,1]")
+	}
+	if cfg.HubExponent <= 1 {
+		panic("synth: HubExponent must exceed 1")
+	}
+	if cfg.MeanPtsSize <= 0 {
+		panic("synth: MeanPtsSize must be positive")
+	}
+	if cfg.EmptyFrac < 0 || cfg.EmptyFrac >= 1 {
+		panic("synth: EmptyFrac out of [0,1)")
+	}
+	offset := cfg.HubOffset
+	if offset <= 0 {
+		offset = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.HubExponent, offset, uint64(cfg.Objects-1))
+
+	pm := matrix.New(cfg.Pointers, cfg.Objects)
+	numClasses := int(float64(cfg.Pointers) * cfg.ClassRatio)
+	if numClasses < 1 {
+		numClasses = 1
+	}
+
+	// One points-to set per class, heavy-tailed size, Zipf-popular
+	// members. Object IDs are shuffled so hubness is not correlated with
+	// ID order.
+	perm := rng.Perm(cfg.Objects)
+	sets := make([][]int, numClasses)
+	for c := range sets {
+		size := heavyTailSize(rng, cfg.MeanPtsSize, cfg.Objects)
+		seen := map[int]bool{}
+		for len(seen) < size {
+			seen[perm[int(zipf.Uint64())]] = true
+		}
+		for o := range seen {
+			sets[c] = append(sets[c], o)
+		}
+	}
+
+	// Class membership: class c gets a heavy-tailed share of pointers,
+	// realized by sampling class per pointer from a Zipf over classes.
+	classZipf := rand.NewZipf(rng, 1.5, 1, uint64(numClasses-1))
+	for p := 0; p < cfg.Pointers; p++ {
+		if rng.Float64() < cfg.EmptyFrac {
+			continue
+		}
+		var c int
+		if p < numClasses {
+			c = p // ensure every class is inhabited
+		} else {
+			c = int(classZipf.Uint64())
+		}
+		for _, o := range sets[c] {
+			pm.Add(p, o)
+		}
+	}
+	return pm
+}
+
+// heavyTailSize draws a points-to set size from a Pareto distribution with
+// shape 2 (mean 2·xm), clamped to [1, max].
+func heavyTailSize(rng *rand.Rand, mean float64, max int) int {
+	xm := mean / 2
+	if xm < 0.5 {
+		xm = 0.5
+	}
+	u := rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	size := int(xm / math.Sqrt(u))
+	if size < 1 {
+		size = 1
+	}
+	if size > max {
+		size = max
+	}
+	return size
+}

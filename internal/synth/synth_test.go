@@ -1,0 +1,187 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"pestrie/internal/matrix"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Pointers: 500, Objects: 100, ClassRatio: 0.2, HubExponent: 1.3, MeanPtsSize: 6, Seed: 1}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if !a.Equal(b) {
+		t.Fatal("generation not deterministic")
+	}
+	cfg.Seed = 2
+	if Generate(cfg).Equal(a) {
+		t.Fatal("different seeds gave identical matrices")
+	}
+}
+
+func TestGenerateDimensions(t *testing.T) {
+	cfg := Config{Pointers: 300, Objects: 80, ClassRatio: 0.25, HubExponent: 1.4, MeanPtsSize: 5, Seed: 3}
+	pm := Generate(cfg)
+	if pm.NumPointers != 300 || pm.NumObjects != 80 {
+		t.Fatalf("dims %d×%d", pm.NumPointers, pm.NumObjects)
+	}
+	if pm.Edges() == 0 {
+		t.Fatal("no facts generated")
+	}
+}
+
+func TestGenerateClassRatio(t *testing.T) {
+	cfg := Config{Pointers: 2000, Objects: 300, ClassRatio: 0.15, HubExponent: 1.3, MeanPtsSize: 8, Seed: 4}
+	pm := Generate(cfg)
+	_, classes := pm.EquivalenceClasses()
+	ratio := float64(classes) / float64(pm.NumPointers)
+	// Within 2× of the target (duplicate sets can merge classes; the
+	// empty class adds one).
+	if ratio > 2*cfg.ClassRatio || ratio < cfg.ClassRatio/4 {
+		t.Fatalf("class ratio %.3f, target %.3f", ratio, cfg.ClassRatio)
+	}
+}
+
+func TestGenerateEmptyFrac(t *testing.T) {
+	cfg := Config{Pointers: 2000, Objects: 100, ClassRatio: 0.2, HubExponent: 1.3, MeanPtsSize: 4, EmptyFrac: 0.3, Seed: 5}
+	pm := Generate(cfg)
+	empty := 0
+	for p := 0; p < pm.NumPointers; p++ {
+		if pm.Row(p).Empty() {
+			empty++
+		}
+	}
+	frac := float64(empty) / float64(pm.NumPointers)
+	if math.Abs(frac-0.3) > 0.1 {
+		t.Fatalf("empty fraction %.3f, want ≈0.3", frac)
+	}
+}
+
+func TestGenerateHubSkew(t *testing.T) {
+	// Stronger hub exponents must concentrate more mass on the top
+	// objects.
+	base := Config{Pointers: 3000, Objects: 500, ClassRatio: 0.2, MeanPtsSize: 8, Seed: 6}
+	weak, strong := base, base
+	weak.HubExponent = 1.1
+	strong.HubExponent = 2.5
+	topShare := func(pm *matrix.PointsTo) float64 {
+		counts := pm.PointedByCounts()
+		max, total := 0, 0
+		for _, c := range counts {
+			total += c
+			if c > max {
+				max = c
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(max) / float64(total)
+	}
+	if topShare(Generate(strong)) <= topShare(Generate(weak)) {
+		t.Fatal("stronger exponent did not concentrate mass")
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	bads := []Config{
+		{Pointers: 0, Objects: 10, ClassRatio: 0.5, HubExponent: 1.5, MeanPtsSize: 3},
+		{Pointers: 10, Objects: 0, ClassRatio: 0.5, HubExponent: 1.5, MeanPtsSize: 3},
+		{Pointers: 10, Objects: 10, ClassRatio: 0, HubExponent: 1.5, MeanPtsSize: 3},
+		{Pointers: 10, Objects: 10, ClassRatio: 1.5, HubExponent: 1.5, MeanPtsSize: 3},
+		{Pointers: 10, Objects: 10, ClassRatio: 0.5, HubExponent: 1.0, MeanPtsSize: 3},
+		{Pointers: 10, Objects: 10, ClassRatio: 0.5, HubExponent: 1.5, MeanPtsSize: 0},
+		{Pointers: 10, Objects: 10, ClassRatio: 0.5, HubExponent: 1.5, MeanPtsSize: 3, EmptyFrac: 1},
+	}
+	for i, cfg := range bads {
+		cfg := cfg
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			Generate(cfg)
+		}()
+	}
+}
+
+func TestPresetsMirrorTable2(t *testing.T) {
+	if len(Presets) != 12 {
+		t.Fatalf("%d presets, want 12", len(Presets))
+	}
+	if p := PresetByName("fop"); p == nil || p.Pointers != 1173406 || p.Objects != 201122 {
+		t.Fatalf("fop preset wrong: %+v", p)
+	}
+	if PresetByName("nope") != nil {
+		t.Fatal("unknown preset found")
+	}
+	groups := map[AnalysisKind]int{}
+	for _, p := range Presets {
+		groups[p.Analysis]++
+	}
+	if groups[CFlowSensitive] != 4 || groups[JavaObjSensitive] != 4 || groups[JavaGeom] != 4 {
+		t.Fatalf("groups %v, want 4/4/4", groups)
+	}
+}
+
+func TestPresetGenerateScales(t *testing.T) {
+	p := PresetByName("antlr")
+	pm := p.Generate(0.005)
+	if pm.NumPointers != 1512 {
+		t.Fatalf("pointers %d", pm.NumPointers)
+	}
+	// Same preset and scale regenerate identically (fixed internal seed).
+	if !pm.Equal(p.Generate(0.005)) {
+		t.Fatal("preset generation not deterministic")
+	}
+}
+
+func TestAnalysisKindString(t *testing.T) {
+	if CFlowSensitive.String() == "" || JavaObjSensitive.String() == "" ||
+		JavaGeom.String() == "" || AnalysisKind(99).String() != "unknown" {
+		t.Fatal("String() broken")
+	}
+}
+
+func TestBasePointers(t *testing.T) {
+	pm := matrix.New(10, 2)
+	for p := 0; p < 10; p += 2 {
+		pm.Add(p, 0)
+	}
+	base := BasePointers(pm, 2)
+	// Five pointers have non-empty sets (0,2,4,6,8); stride 2 over the
+	// size-ordered population keeps three of them.
+	if len(base) != 3 {
+		t.Fatalf("base = %v", base)
+	}
+	all := BasePointers(pm, 0) // stride clamps to 1
+	if len(all) != 5 {
+		t.Fatalf("all = %v", all)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1] >= all[i] {
+			t.Fatal("base pointers not sorted")
+		}
+	}
+}
+
+func TestPresetCharacteristicsResembleFigure1(t *testing.T) {
+	// The scaled presets should show the paper's qualitative shape: far
+	// fewer pointer classes than pointers, object classes closer to the
+	// object count, and visible hub concentration.
+	p := PresetByName("samba")
+	pm := p.Generate(0.01)
+	c := matrix.Characterize(pm, 0)
+	if c.PointerRatio > 0.5 {
+		t.Errorf("pointer class ratio %.2f — no equivalence structure", c.PointerRatio)
+	}
+	if c.ObjectRatio < c.PointerRatio {
+		t.Errorf("object ratio %.2f below pointer ratio %.2f — shape inverted",
+			c.ObjectRatio, c.PointerRatio)
+	}
+	if c.HubQuantiles[0.99] <= c.HubQuantiles[0.5] {
+		t.Error("no hub skew in degree distribution")
+	}
+}

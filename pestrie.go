@@ -1,0 +1,223 @@
+// Package pestrie is a persistence layer for pointer information — a Go
+// implementation of "Persistent Pointer Information" (PLDI 2014). It takes
+// the points-to relation exported by a pointer analysis, compresses it into
+// a compact on-disk index by exploiting pointer/object equivalence and hub
+// objects, and answers the four standard queries — IsAlias, ListPointsTo,
+// ListPointedBy, ListAliases — without re-running the analysis:
+//
+//	pm := pestrie.NewMatrix(numPointers, numObjects)
+//	pm.Add(p, o) // pointer p may point to object o
+//	trie := pestrie.Build(pm, nil)
+//	trie.WriteTo(file)               // persist
+//	idx, err := pestrie.Load(file)   // later, in another process
+//	idx.IsAlias(p, q)                // O(log n)
+//	idx.ListAliases(p)               // output-linear
+//
+// The package also ships the baselines the paper evaluates against — a
+// GCC-style sparse-bitmap persistence (BitP), a BDD encoding, a bzip2-style
+// general-purpose compressor, and a demand-driven oracle — plus an
+// Andersen-style pointer analysis over a small IR for producing real
+// points-to matrices, a statistical workload generator mirroring the
+// paper's benchmarks, and the full evaluation harness (see cmd/benchtables
+// and DESIGN.md).
+package pestrie
+
+import (
+	"io"
+	"os"
+
+	"pestrie/internal/anders"
+	"pestrie/internal/bitenc"
+	"pestrie/internal/compose"
+	"pestrie/internal/core"
+	"pestrie/internal/demand"
+	"pestrie/internal/flow"
+	"pestrie/internal/ir"
+	"pestrie/internal/matrix"
+	"pestrie/internal/synth"
+)
+
+// Matrix is the normalized binary points-to matrix (§2 of the paper):
+// Matrix[p][o] = 1 iff pointer p may point to object o. Flow-, context-,
+// and path-sensitive results are mapped onto this form by the transforms
+// in the analysis API (see NormalizeFlow and friends).
+type Matrix = matrix.PointsTo
+
+// Characteristics summarizes the equivalence and hub properties of a
+// matrix (§2, Figure 1).
+type Characteristics = matrix.Characteristics
+
+// NewMatrix returns an empty points-to matrix of the given dimensions.
+func NewMatrix(pointers, objects int) *Matrix { return matrix.New(pointers, objects) }
+
+// ReadMatrix deserializes a matrix written by (*Matrix).WriteTo.
+func ReadMatrix(r io.Reader) (*Matrix, error) { return matrix.Read(r) }
+
+// Facts is a matrix imported from a textual points-to dump, with name
+// tables.
+type Facts = matrix.Facts
+
+// ReadFactsText parses the text facts format ("pointer object" per line) —
+// the ingestion path for points-to sets exported by external analyses.
+func ReadFactsText(r io.Reader) (*Facts, error) { return matrix.ReadFacts(r) }
+
+// WriteFactsText writes a matrix in the text facts format with optional
+// name tables.
+func WriteFactsText(w io.Writer, pm *Matrix, pointerNames, objectNames []string) error {
+	return matrix.WriteFacts(w, pm, pointerNames, objectNames)
+}
+
+// Characterize computes the §2 characteristics of a matrix. A
+// non-positive threshold selects the paper's hub-degree cutoff of 5000.
+func Characterize(pm *Matrix, hubThreshold float64) Characteristics {
+	return matrix.Characterize(pm, hubThreshold)
+}
+
+// Trie is a constructed Pestrie, ready to persist (WriteTo) or query
+// (Index).
+type Trie = core.Trie
+
+// Index is the decoded query structure answering the Table 1 queries.
+type Index = core.Index
+
+// BuildOptions tune Pestrie construction; nil selects the paper's
+// defaults (hub-degree object order, Theorem-2 pruning on).
+type BuildOptions = core.Options
+
+// Build constructs a Pestrie for the matrix.
+func Build(pm *Matrix, opts *BuildOptions) *Trie { return core.Build(pm, opts) }
+
+// Load decodes a persistent Pestrie file into a query index.
+func Load(r io.Reader) (*Index, error) { return core.Load(r) }
+
+// LoadFile is Load over a file path.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.Load(f)
+}
+
+// WriteFile persists a Pestrie to a file path.
+func WriteFile(t *Trie, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// --- baselines ---------------------------------------------------------
+
+// BitmapEncoding is the sparse-bitmap persistence baseline (BitP).
+type BitmapEncoding = bitenc.Encoding
+
+// EncodeBitmap builds the BitP encoding of a matrix.
+func EncodeBitmap(pm *Matrix) *BitmapEncoding { return bitenc.Encode(pm) }
+
+// LoadBitmap decodes a BitP file written by (*BitmapEncoding).WriteTo.
+func LoadBitmap(r io.Reader) (*BitmapEncoding, error) { return bitenc.Load(r) }
+
+// DemandOracle answers queries on demand by set intersection, with the
+// paper's per-equivalence-class ListAliases cache.
+type DemandOracle = demand.Oracle
+
+// NewDemandOracle wraps a matrix in a demand-driven oracle.
+func NewDemandOracle(pm *Matrix) *DemandOracle { return demand.New(pm) }
+
+// Querier is the interface every encoding in this module satisfies for
+// the three pointer-side queries of Table 1.
+type Querier interface {
+	IsAlias(p, q int) bool
+	ListAliases(p int) []int
+	ListPointsTo(p int) []int
+}
+
+// Compile-time checks that every encoding answers the standard queries.
+var (
+	_ Querier = (*Index)(nil)
+	_ Querier = (*BitmapEncoding)(nil)
+	_ Querier = (*DemandOracle)(nil)
+)
+
+// --- composition (library pre-analysis, §1 and §9) ----------------------
+
+// Combined is the linked view over separately persisted library and client
+// pointer information sharing an object namespace.
+type Combined = compose.Combined
+
+// Compose links a library index with a client index (see the fragment
+// example). Combined pointer IDs place the library first; translate with
+// LibraryPointer/ClientPointer.
+func Compose(lib, client *Index) (*Combined, error) { return compose.New(lib, client) }
+
+// --- pointer analysis --------------------------------------------------
+
+// Program is a pointer-IR program (see the ir package format in
+// examples/libpersist and cmd/ptagen).
+type Program = ir.Program
+
+// AnalysisResult is the outcome of the Andersen-style analysis: the
+// points-to matrix plus name↔ID mappings.
+type AnalysisResult = anders.Result
+
+// ParseProgram reads the textual pointer IR.
+func ParseProgram(r io.Reader) (*Program, error) { return ir.Parse(r) }
+
+// Analyze runs the Andersen-style inclusion-based analysis. cloneDepth > 0
+// applies k-callsite cloning with heap cloning before solving.
+func Analyze(prog *Program, cloneDepth int) (*AnalysisResult, error) {
+	return anders.Analyze(prog, &anders.Options{CloneDepth: cloneDepth})
+}
+
+// FlowResult is the outcome of the bundled flow-sensitive analysis.
+type FlowResult = flow.Result
+
+// AnalyzeFlow runs the flow-sensitive analysis (strong updates on locals,
+// branch joins); its Normalized field is the §6 p_l-renamed matrix ready
+// for Build.
+func AnalyzeFlow(prog *Program) (*FlowResult, error) { return flow.Analyze(prog) }
+
+// FlowFact is a flow-sensitive points-to fact (pointer points to object at
+// a program point).
+type FlowFact = anders.FlowFact
+
+// CondFact is a generic conditioned points-to fact (§6).
+type CondFact = anders.CondFact
+
+// Normalized is a flattened conditioned relation with its name tables.
+type Normalized = anders.Normalized
+
+// NormalizeFlow maps flow-sensitive facts (l, p) → o onto the binary
+// matrix by renaming (l, p) to a fresh pointer p_l (§6).
+func NormalizeFlow(facts []FlowFact) *Normalized { return anders.NormalizeFlow(facts) }
+
+// NormalizeConditioned flattens generic conditioned facts (§6).
+func NormalizeConditioned(facts []CondFact) *Normalized { return anders.Normalize(facts) }
+
+// MergeContexts rewrites contexts to representatives (1-callsite merging
+// when rep is nil), per §6.
+func MergeContexts(facts []CondFact, rep func(string) string) []CondFact {
+	return anders.MergeContexts(facts, rep)
+}
+
+// --- workloads ---------------------------------------------------------
+
+// Benchmark is one of the paper's Table 2 benchmark presets.
+type Benchmark = synth.Preset
+
+// Benchmarks lists the twelve Table 2 presets.
+func Benchmarks() []Benchmark { return synth.Presets }
+
+// BenchmarkByName returns the named preset, or nil.
+func BenchmarkByName(name string) *Benchmark { return synth.PresetByName(name) }
+
+// BasePointers selects the dereferenced-pointer query population of
+// §7.1.1 from a matrix.
+func BasePointers(pm *Matrix, stride int) []int { return synth.BasePointers(pm, stride) }

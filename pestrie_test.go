@@ -1,0 +1,141 @@
+package pestrie
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestEndToEndFacade(t *testing.T) {
+	pm := NewMatrix(4, 2)
+	pm.Add(0, 0)
+	pm.Add(1, 0)
+	pm.Add(2, 1)
+
+	trie := Build(pm, nil)
+	var buf bytes.Buffer
+	if _, err := trie.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.IsAlias(0, 1) || idx.IsAlias(0, 2) || idx.IsAlias(0, 3) {
+		t.Fatal("facade queries wrong")
+	}
+	if got := idx.ListPointedBy(0); len(got) != 2 {
+		t.Fatalf("ListPointedBy = %v", got)
+	}
+}
+
+func TestFileHelpers(t *testing.T) {
+	pm := NewMatrix(2, 1)
+	pm.Add(0, 0)
+	pm.Add(1, 0)
+	path := filepath.Join(t.TempDir(), "x.pes")
+	if err := WriteFile(Build(pm, nil), path); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.IsAlias(0, 1) {
+		t.Fatal("file round trip lost aliasing")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.pes")); err == nil {
+		t.Fatal("LoadFile of missing file succeeded")
+	}
+	if err := WriteFile(Build(pm, nil), string([]byte{0})); err == nil {
+		t.Fatal("WriteFile to invalid path succeeded")
+	}
+	_ = os.Remove(path)
+}
+
+func TestBaselinesAgree(t *testing.T) {
+	pm := NewMatrix(6, 3)
+	facts := [][2]int{{0, 0}, {1, 0}, {2, 1}, {3, 1}, {3, 2}, {4, 2}}
+	for _, f := range facts {
+		pm.Add(f[0], f[1])
+	}
+	encs := map[string]Querier{
+		"pestrie": Build(pm, nil).Index(),
+		"bitmap":  EncodeBitmap(pm),
+		"demand":  NewDemandOracle(pm),
+	}
+	for name, q := range encs {
+		for p := 0; p < 6; p++ {
+			for r := 0; r < 6; r++ {
+				want := pm.Row(p).Intersects(pm.Row(r))
+				if q.IsAlias(p, r) != want {
+					t.Fatalf("%s: IsAlias(%d,%d) != %v", name, p, r, want)
+				}
+			}
+			got := append([]int(nil), q.ListPointsTo(p)...)
+			sort.Ints(got)
+			want := pm.Row(p).Members()
+			if len(got) != len(want) {
+				t.Fatalf("%s: ListPointsTo(%d) = %v want %v", name, p, got, want)
+			}
+		}
+	}
+}
+
+func TestAnalyzeThroughFacade(t *testing.T) {
+	src := `
+func main() {
+  a = alloc A
+  b = a
+}
+`
+	prog, err := ParseProgram(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := res.PointerID("main.a"), res.PointerID("main.b")
+	idx := Build(res.PM, nil).Index()
+	if !idx.IsAlias(pa, pb) {
+		t.Fatal("analysis + pestrie pipeline lost the alias")
+	}
+}
+
+func TestNormalizeThroughFacade(t *testing.T) {
+	n := NormalizeFlow([]FlowFact{{Point: "l1", Ptr: "p", Obj: "o"}})
+	if n.PM.NumPointers != 1 || n.PointerID("l1", "p") != 0 {
+		t.Fatal("NormalizeFlow facade broken")
+	}
+	merged := MergeContexts([]CondFact{{PtrCond: "a/b", Ptr: "p", Obj: "o"}}, nil)
+	if merged[0].PtrCond != "b" {
+		t.Fatal("MergeContexts facade broken")
+	}
+	if NormalizeConditioned(merged).PM.NumPointers != 1 {
+		t.Fatal("NormalizeConditioned facade broken")
+	}
+}
+
+func TestBenchmarksFacade(t *testing.T) {
+	if len(Benchmarks()) != 12 {
+		t.Fatal("wrong benchmark count")
+	}
+	b := BenchmarkByName("antlr")
+	if b == nil {
+		t.Fatal("antlr missing")
+	}
+	pm := b.Generate(0.002)
+	base := BasePointers(pm, 10)
+	if len(base) == 0 {
+		t.Fatal("no base pointers")
+	}
+	c := Characterize(pm, 0)
+	if c.Pointers != pm.NumPointers {
+		t.Fatal("Characterize facade broken")
+	}
+}
