@@ -181,25 +181,49 @@ func query(args []string) error {
 		sort.Ints(xs)
 		fmt.Println(len(xs), "results:", xs)
 	}
+	// Out-of-range IDs are hard errors, not empty result sets: a silent
+	// empty answer for pointer 10^6 against a 10^3-pointer file hides the
+	// mismatch between the file and whatever produced the ID.
+	checkPointer := func(name string, v int) error {
+		if v >= idx.NumPointers {
+			return fmt.Errorf("-%s %d out of range: %s has pointers 0..%d", name, v, *in, idx.NumPointers-1)
+		}
+		return nil
+	}
 	switch *op {
 	case "isalias":
 		if *p < 0 || *q < 0 {
 			return fmt.Errorf("isalias needs -p and -q")
+		}
+		if err := checkPointer("p", *p); err != nil {
+			return err
+		}
+		if err := checkPointer("q", *q); err != nil {
+			return err
 		}
 		fmt.Println(idx.IsAlias(*p, *q))
 	case "aliases":
 		if *p < 0 {
 			return fmt.Errorf("aliases needs -p")
 		}
+		if err := checkPointer("p", *p); err != nil {
+			return err
+		}
 		printList(idx.ListAliases(*p))
 	case "pointsto":
 		if *p < 0 {
 			return fmt.Errorf("pointsto needs -p")
 		}
+		if err := checkPointer("p", *p); err != nil {
+			return err
+		}
 		printList(idx.ListPointsTo(*p))
 	case "pointedby":
 		if *o < 0 {
 			return fmt.Errorf("pointedby needs -o")
+		}
+		if *o >= idx.NumObjects {
+			return fmt.Errorf("-o %d out of range: %s has objects 0..%d", *o, *in, idx.NumObjects-1)
 		}
 		printList(idx.ListPointedBy(*o))
 	default:

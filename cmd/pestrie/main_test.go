@@ -174,4 +174,17 @@ func TestErrors(t *testing.T) {
 			t.Errorf("query %v: expected error", args)
 		}
 	}
+	// Out-of-range IDs are reported, not answered with empty sets: the
+	// test matrix has pointers 0..5 and objects 0..2.
+	for _, args := range [][]string{
+		{"-in", pes, "-op", "isalias", "-p", "6", "-q", "0"},
+		{"-in", pes, "-op", "isalias", "-p", "0", "-q", "6"},
+		{"-in", pes, "-op", "aliases", "-p", "6"},
+		{"-in", pes, "-op", "pointsto", "-p", "100"},
+		{"-in", pes, "-op", "pointedby", "-o", "3"},
+	} {
+		if err := query(args); err == nil {
+			t.Errorf("query %v: out-of-range ID accepted", args)
+		}
+	}
 }

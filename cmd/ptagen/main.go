@@ -151,6 +151,9 @@ func analyze(args []string) error {
 	if err != nil {
 		return err
 	}
+	for _, w := range prog.Warnings {
+		fmt.Fprintf(os.Stderr, "ptagen: warning: %s\n", w)
+	}
 	var res *pestrie.AnalysisResult
 	dur := perf.Time(func() { res, err = pestrie.Analyze(prog, *clone) })
 	if err != nil {

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pestrie"
+)
+
+const bugsPath = "../../examples/ptalint/bugs.ir"
+
+func runCapture(t *testing.T, args ...string) (string, string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatalf("run(%v): %v\nstderr:\n%s", args, err, errw.String())
+	}
+	return out.String(), errw.String()
+}
+
+// TestSeededBugs checks the CLI reports every bug planted in the demo
+// corpus — one per checker family — and nothing about the reachable
+// allocation.
+func TestSeededBugs(t *testing.T) {
+	out, errw := runCapture(t, "-ir", bugsPath)
+	for _, want := range []string{
+		`taint: tainted value "out" reaches sink: sources Secret`,
+		`nullderef: dereference of "p": points-to set may be empty along some path`,
+		`nullderef: dereference of "q": points-to set is empty`,
+		`uaf: read through "b" may reach object FreeMe released at`,
+		`race: write *sh conflicts with read *al`,
+		"leak: allocation site Box is unreachable",
+		"leak: allocation site FreeMe is unreachable",
+		"leak: allocation site P1 is unreachable",
+		"leak: allocation site Secret is unreachable",
+		"leak: allocation site Shared is unreachable",
+		"leak: allocation site Val is unreachable",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Kept") {
+		t.Errorf("reachable allocation reported:\n%s", out)
+	}
+	if !strings.Contains(errw, "store through undefined pointer") {
+		t.Errorf("lint warning not surfaced on stderr:\n%s", errw)
+	}
+	if !strings.Contains(errw, "finding(s)") {
+		t.Errorf("summary missing from stderr:\n%s", errw)
+	}
+}
+
+// TestBackendsByteIdentical is the headline acceptance property: stdout
+// must not change across repeated runs or when the demand oracle replaces
+// the Pestrie index.
+func TestBackendsByteIdentical(t *testing.T) {
+	base, _ := runCapture(t, "-ir", bugsPath)
+	if base == "" {
+		t.Fatal("no findings on the seeded corpus")
+	}
+	for i := 0; i < 3; i++ {
+		if again, _ := runCapture(t, "-ir", bugsPath); again != base {
+			t.Fatalf("run %d differs:\n%s\nvs:\n%s", i, again, base)
+		}
+	}
+	viaDemand, _ := runCapture(t, "-ir", bugsPath, "-backend", "demand")
+	if viaDemand != base {
+		t.Fatalf("backends differ:\npestrie:\n%s\ndemand:\n%s", base, viaDemand)
+	}
+}
+
+// TestPersistedFileBackend exercises the pay-once pipeline: persist the
+// index to a .pes file, then lint against the file.
+func TestPersistedFileBackend(t *testing.T) {
+	f, err := os.Open(bugsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := pestrie.ParseProgram(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pestrie.Analyze(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pes := filepath.Join(t.TempDir(), "bugs.pes")
+	if err := pestrie.WriteFile(pestrie.Build(res.PM, nil), pes); err != nil {
+		t.Fatal(err)
+	}
+
+	base, _ := runCapture(t, "-ir", bugsPath)
+	fromFile, _ := runCapture(t, "-ir", bugsPath, "-pes", pes)
+	if fromFile != base {
+		t.Fatalf("persisted file differs from in-memory index:\n%s\nvs:\n%s", fromFile, base)
+	}
+
+	// A persisted file with the wrong dimensions must be rejected, not
+	// silently mis-queried.
+	stale := filepath.Join(t.TempDir(), "stale.pes")
+	pm := pestrie.NewMatrix(2, 2)
+	pm.Add(0, 0)
+	if err := pestrie.WriteFile(pestrie.Build(pm, nil), stale); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if err := run([]string{"-ir", bugsPath, "-pes", stale}, &out, &errw); err == nil ||
+		!strings.Contains(err.Error(), "stale") {
+		t.Fatalf("stale persisted file accepted: err=%v", err)
+	}
+}
+
+func TestChecksSubset(t *testing.T) {
+	out, _ := runCapture(t, "-ir", bugsPath, "-checks", "taint,uaf")
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.Contains(line, " taint: ") && !strings.Contains(line, " uaf: ") {
+			t.Errorf("unexpected finding for -checks taint,uaf: %q", line)
+		}
+	}
+	if !strings.Contains(out, "taint:") || !strings.Contains(out, "uaf:") {
+		t.Fatalf("subset missing findings:\n%s", out)
+	}
+}
+
+func TestNoWarnSuppressesLint(t *testing.T) {
+	_, errw := runCapture(t, "-ir", bugsPath, "-no-warn")
+	if strings.Contains(errw, "warning:") {
+		t.Fatalf("-no-warn left warnings on stderr:\n%s", errw)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},                         // missing -ir
+		{"-ir", "no/such/file.ir"}, // unreadable input
+		{"-ir", bugsPath, "-backend", "nope"},
+		{"-ir", bugsPath, "-checks", "nope"},
+		{"-ir", bugsPath, "-backend", "demand", "-pes", "x.pes"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

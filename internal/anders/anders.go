@@ -179,7 +179,10 @@ func (s *solver) collect() {
 		f := f
 		ir.Walk(f.Body, func(st *ir.Stmt) {
 			switch st.Kind {
-			case ir.Alloc:
+			case ir.Alloc, ir.Source:
+				// A taint source allocates a labelled abstract object, so
+				// downstream clients can resolve the label through the
+				// persisted points-to information.
 				v := s.varOf(f.Name, st.Dst)
 				o := s.objOf(st.Site)
 				if !s.pts[v].Test(o) {
@@ -209,6 +212,10 @@ func (s *solver) collect() {
 						}
 					})
 				}
+			case ir.Sink:
+				// No constraints, but register the consumed pointer so it
+				// gets a matrix row clients can query.
+				s.varOf(f.Name, st.Src)
 			case ir.Return, ir.Branch:
 				// Returns are handled at call sites; branch arms are
 				// visited by the walk itself.
@@ -327,7 +334,9 @@ func CloneCallsites(prog *ir.Program, depth int) (*ir.Program, error) {
 			for _, st := range body {
 				st := st // copy
 				switch st.Kind {
-				case ir.Alloc:
+				case ir.Alloc, ir.Source:
+					// Heap cloning applies to taint sites too: each clone
+					// gets its own labelled object.
 					if ctx != "" {
 						st.Site = st.Site + "@" + ctx
 					}

@@ -305,7 +305,7 @@ func naiveSolve(prog *ir.Program) map[string]map[string]bool {
 			ir.Walk(f.Body, func(stp *ir.Stmt) {
 				st := *stp
 				switch st.Kind {
-				case ir.Alloc:
+				case ir.Alloc, ir.Source:
 					if add(v(st.Dst), st.Site) {
 						changed = true
 					}

@@ -1,11 +1,13 @@
-// Package clients implements the two analysis clients the paper motivates
-// persistence with (§1, scenario 1): a static race detector in the style
-// of Naik et al. (conflicting-access pairs via aliasing base pointers,
-// §7.1.1) and a static memory-leak detector in the style of value-flow
-// leak analysis (allocation sites unreachable from live roots). Both run
-// off the *same* persisted pointer information, demonstrating the
-// pipelined-bug-detection workflow where the points-to analysis cost is
-// paid once.
+// Package clients implements the static-analysis clients the paper
+// motivates persistence with (§1, scenario 1): a race detector in the
+// style of Naik et al. (conflicting-access pairs via aliasing base
+// pointers, §7.1.1), a memory-leak detector in the style of value-flow
+// leak analysis (allocation sites unreachable from live roots), and —
+// built on the value-flow engine in package taint — taint-reaches-sink,
+// null-dereference, and use-after-free checkers. All five run off the
+// *same* persisted pointer information through the Queries interface,
+// demonstrating the pipelined-bug-detection workflow where the points-to
+// analysis cost is paid once; cmd/ptalint is the command-line front end.
 package clients
 
 import (
@@ -26,10 +28,12 @@ type Queries interface {
 }
 
 // Access is one heap access: the statement performing it, its base
-// pointer, and whether it writes.
+// pointer, and whether it writes. Line is the source line when the program
+// was parsed from text (0 otherwise).
 type Access struct {
 	Func    string
 	Stmt    int
+	Line    int
 	Base    string // base pointer variable name
 	BaseID  int    // matrix pointer ID
 	IsWrite bool
@@ -56,11 +60,11 @@ func CollectAccesses(prog *ir.Program, res *anders.Result) []Access {
 			switch st.Kind {
 			case ir.Load:
 				if id := res.PointerID(f.Name + "." + st.Src); id >= 0 {
-					out = append(out, Access{Func: f.Name, Stmt: i, Base: st.Src, BaseID: id})
+					out = append(out, Access{Func: f.Name, Stmt: i, Line: st.Line, Base: st.Src, BaseID: id})
 				}
 			case ir.Store:
 				if id := res.PointerID(f.Name + "." + st.Dst); id >= 0 {
-					out = append(out, Access{Func: f.Name, Stmt: i, Base: st.Dst, BaseID: id, IsWrite: true})
+					out = append(out, Access{Func: f.Name, Stmt: i, Line: st.Line, Base: st.Dst, BaseID: id, IsWrite: true})
 				}
 			}
 		})

@@ -1,0 +1,294 @@
+package clients
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pestrie/internal/anders"
+	"pestrie/internal/ir"
+	"pestrie/internal/taint"
+)
+
+// Finding is one checker result, positioned at a statement when possible.
+// All five checkers (race, leak, taint, nullderef, uaf) report through this
+// type so cmd/ptalint can print a uniform, deterministic listing.
+type Finding struct {
+	Check string // "race" | "leak" | "taint" | "nullderef" | "uaf"
+	Func  string // enclosing function, "" for program-level findings
+	Line  int    // 1-based source line, 0 when unknown
+	Stmt  int    // pre-order statement index within Func, -1 when n/a
+	Msg   string
+}
+
+// String renders "pos: check: msg" with the best position available:
+// func:line for parsed programs, func:#stmt for programmatic ones, "-" for
+// program-level findings.
+func (f Finding) String() string {
+	pos := "-"
+	switch {
+	case f.Func != "" && f.Line > 0:
+		pos = fmt.Sprintf("%s:%d", f.Func, f.Line)
+	case f.Func != "" && f.Stmt >= 0:
+		pos = fmt.Sprintf("%s:#%d", f.Func, f.Stmt)
+	case f.Func != "":
+		pos = f.Func
+	}
+	return fmt.Sprintf("%s: %s: %s", pos, f.Check, f.Msg)
+}
+
+// SortFindings orders findings deterministically: by check name, then
+// function, position, and message. Every backend produces the same slice
+// order after sorting, which is what makes ptalint output byte-identical
+// across core.Index and demand.Oracle.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Stmt != b.Stmt {
+			return a.Stmt < b.Stmt
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+func (a Access) pos() string {
+	if a.Line > 0 {
+		return fmt.Sprintf("%s:%d", a.Func, a.Line)
+	}
+	return fmt.Sprintf("%s:#%d", a.Func, a.Stmt)
+}
+
+func (a Access) op() string {
+	if a.IsWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// RaceFindings renders FindRaces results as findings anchored at the
+// earlier access of each pair.
+func RaceFindings(accesses []Access, q Queries) []Finding {
+	var out []Finding
+	for _, r := range FindRaces(accesses, q) {
+		out = append(out, Finding{
+			Check: "race",
+			Func:  r.A.Func,
+			Line:  r.A.Line,
+			Stmt:  r.A.Stmt,
+			Msg: fmt.Sprintf("%s *%s conflicts with %s *%s (%s): aliasing bases, at least one write",
+				r.A.op(), r.A.Base, r.B.op(), r.B.Base, r.B.pos()),
+		})
+	}
+	return out
+}
+
+// LeakFindings renders FindLeaks results as program-level findings.
+func LeakFindings(res *anders.Result, q Queries, roots []int) []Finding {
+	var out []Finding
+	for _, l := range FindLeaks(res, q, roots) {
+		out = append(out, Finding{
+			Check: "leak",
+			Stmt:  -1,
+			Msg:   fmt.Sprintf("allocation site %s is unreachable from the root set", l.Site),
+		})
+	}
+	return out
+}
+
+// TaintFindings runs the alias-aware taint engine and reports every sink
+// reached by a source label, listing the labels in sorted order.
+func TaintFindings(prog *ir.Program, res *anders.Result, q Queries) []Finding {
+	r := taint.Analyze(prog, q, res)
+	var out []Finding
+	for _, h := range r.Hits() {
+		srcs := make([]string, len(h.Sources))
+		for i, s := range h.Sources {
+			srcs[i] = s.String()
+		}
+		out = append(out, Finding{
+			Check: "taint",
+			Func:  h.Sink.Func,
+			Line:  h.Sink.Line,
+			Stmt:  h.Sink.Stmt,
+			Msg: fmt.Sprintf("tainted value %q reaches sink: sources %s",
+				h.Sink.Var, strings.Join(srcs, ", ")),
+		})
+	}
+	return out
+}
+
+// NullDerefFindings reports dereferences of pointers whose points-to set
+// may be empty: definitely empty per the persisted information (the
+// pointer is never assigned anywhere), or empty along some path (assigned
+// only inside one branch arm before the dereference). The definite case is
+// answered from the oracle; the may case from a branch-sensitive
+// must-defined walk over the IR.
+func NullDerefFindings(prog *ir.Program, res *anders.Result, q Queries) []Finding {
+	var out []Finding
+	for _, f := range prog.Funcs {
+		f := f
+		emptyPts := func(v string) bool {
+			id := res.PointerID(f.Name + "." + v)
+			return id < 0 || len(q.ListPointsTo(id)) == 0
+		}
+		idx := -1
+		var walk func(body []ir.Stmt, defined map[string]bool)
+		walk = func(body []ir.Stmt, defined map[string]bool) {
+			for i := range body {
+				st := &body[i]
+				idx++
+				deref := func(base string) {
+					switch {
+					case emptyPts(base):
+						out = append(out, Finding{
+							Check: "nullderef", Func: f.Name, Line: st.Line, Stmt: idx,
+							Msg: fmt.Sprintf("dereference of %q: points-to set is empty (never assigned)", base),
+						})
+					case !defined[base]:
+						out = append(out, Finding{
+							Check: "nullderef", Func: f.Name, Line: st.Line, Stmt: idx,
+							Msg: fmt.Sprintf("dereference of %q: points-to set may be empty along some path (assigned only in a branch arm)", base),
+						})
+					}
+				}
+				switch st.Kind {
+				case ir.Load:
+					deref(st.Src)
+					defined[st.Dst] = true
+				case ir.Store:
+					deref(st.Dst)
+				case ir.Alloc, ir.Source, ir.Copy:
+					defined[st.Dst] = true
+				case ir.Call:
+					if st.Dst != "" {
+						defined[st.Dst] = true
+					}
+				case ir.Branch:
+					thenDef := copyDefined(defined)
+					elseDef := copyDefined(defined)
+					walk(st.Then, thenDef)
+					walk(st.Else, elseDef)
+					for v := range thenDef {
+						if elseDef[v] {
+							defined[v] = true
+						}
+					}
+				}
+			}
+		}
+		defined := map[string]bool{}
+		for _, p := range f.Params {
+			defined[p] = true
+		}
+		walk(f.Body, defined)
+	}
+	return out
+}
+
+func copyDefined(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// UseAfterFreeFindings treats every sink(p) as a release point for the
+// objects p may point to and reports dereferences that may reach a
+// released object — the classic use-after-free pattern, resolved entirely
+// through the persisted points-to information.
+func UseAfterFreeFindings(prog *ir.Program, res *anders.Result, q Queries) []Finding {
+	freedAt := map[int][]string{} // object ID -> release positions
+	for _, f := range prog.Funcs {
+		f := f
+		idx := -1
+		ir.Walk(f.Body, func(st *ir.Stmt) {
+			idx++
+			if st.Kind != ir.Sink {
+				return
+			}
+			pos := Access{Func: f.Name, Stmt: idx, Line: st.Line}.pos()
+			id := res.PointerID(f.Name + "." + st.Src)
+			if id < 0 {
+				return
+			}
+			objs := append([]int(nil), q.ListPointsTo(id)...)
+			sort.Ints(objs)
+			for _, o := range objs {
+				freedAt[o] = append(freedAt[o], pos)
+			}
+		})
+	}
+	if len(freedAt) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, a := range CollectAccesses(prog, res) {
+		objs := append([]int(nil), q.ListPointsTo(a.BaseID)...)
+		sort.Ints(objs)
+		for _, o := range objs {
+			sites, ok := freedAt[o]
+			if !ok {
+				continue
+			}
+			out = append(out, Finding{
+				Check: "uaf",
+				Func:  a.Func,
+				Line:  a.Line,
+				Stmt:  a.Stmt,
+				Msg: fmt.Sprintf("%s through %q may reach object %s released at %s",
+					a.op(), a.Base, res.ObjectNames[o], strings.Join(sites, ", ")),
+			})
+		}
+	}
+	return out
+}
+
+// CheckNames lists the five checkers in canonical (sorted) order.
+var CheckNames = []string{"leak", "nullderef", "race", "taint", "uaf"}
+
+// Run executes the named checkers against one program and one pointer
+// oracle and returns the merged, deterministically sorted findings.
+// leakRoots names the function whose locals form the leak checker's root
+// set (conventionally "main"). Every checker consumes only the Queries
+// interface, so res supplies names while q may be any persistence backend.
+func Run(prog *ir.Program, res *anders.Result, q Queries, checks []string, leakRoots string) ([]Finding, error) {
+	valid := map[string]bool{}
+	for _, c := range CheckNames {
+		valid[c] = true
+	}
+	want := map[string]bool{}
+	for _, c := range checks {
+		if !valid[c] {
+			return nil, fmt.Errorf("clients: unknown check %q (have %s)", c, strings.Join(CheckNames, ", "))
+		}
+		want[c] = true
+	}
+	var out []Finding
+	if want["race"] {
+		out = append(out, RaceFindings(CollectAccesses(prog, res), q)...)
+	}
+	if want["leak"] {
+		out = append(out, LeakFindings(res, q, MainRoots(prog, res, leakRoots))...)
+	}
+	if want["taint"] {
+		out = append(out, TaintFindings(prog, res, q)...)
+	}
+	if want["nullderef"] {
+		out = append(out, NullDerefFindings(prog, res, q)...)
+	}
+	if want["uaf"] {
+		out = append(out, UseAfterFreeFindings(prog, res, q)...)
+	}
+	SortFindings(out)
+	return out, nil
+}

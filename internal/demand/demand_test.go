@@ -84,6 +84,58 @@ func TestCacheSharesAcrossEquivalentPointers(t *testing.T) {
 	}
 }
 
+// TestCacheReuseAcrossManyEquivalentPointers pins down the paper's cache
+// contract quantitatively: ListAliases over k pointers with identical
+// points-to sets must compute the class answer once — one cache entry per
+// equivalence class, never per pointer — while each caller still gets the
+// class minus itself.
+func TestCacheReuseAcrossManyEquivalentPointers(t *testing.T) {
+	const k = 8
+	pm := matrix.New(k+2, 3)
+	for p := 0; p < k; p++ { // one equivalence class of k pointers
+		pm.Add(p, 0)
+		pm.Add(p, 1)
+	}
+	pm.Add(k, 2) // a singleton class
+	// pointer k+1 stays empty: never cached, never aliased
+	d := New(pm)
+
+	entries := func() int {
+		n := 0
+		for _, bucket := range d.cache {
+			n += len(bucket)
+		}
+		return n
+	}
+
+	class := make([]int, k)
+	for p := 0; p < k; p++ {
+		class[p] = p
+	}
+	for pass := 0; pass < 2; pass++ {
+		for p := 0; p < k; p++ {
+			want := append([]int(nil), class[:p]...)
+			want = append(want, class[p+1:]...)
+			if got := sorted(d.ListAliases(p)); !sameInts(got, want) {
+				t.Fatalf("pass %d: ListAliases(%d) = %v, want %v", pass, p, got, want)
+			}
+			if entries() != 1 {
+				t.Fatalf("pass %d: %d cache entries after querying %d equivalent pointers, want 1", pass, entries(), p+1)
+			}
+		}
+	}
+	if got := d.ListAliases(k); len(got) != 0 {
+		t.Fatalf("singleton class has aliases: %v", got)
+	}
+	if got := d.ListAliases(k + 1); got != nil {
+		t.Fatalf("empty pointer has aliases: %v", got)
+	}
+	// One entry per non-empty class queried; the empty pointer adds none.
+	if entries() != 2 {
+		t.Fatalf("cache entries = %d, want 2 (one per queried class)", entries())
+	}
+}
+
 func TestOutOfRange(t *testing.T) {
 	d := New(matrix.New(2, 2))
 	if d.IsAlias(-1, 0) || d.IsAlias(0, 5) {

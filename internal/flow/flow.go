@@ -103,7 +103,7 @@ func analyzeFunc(f *ir.Func, base *anders.Result, res *Result) {
 		for _, st := range body {
 			idx := next()
 			switch st.Kind {
-			case ir.Alloc:
+			case ir.Alloc, ir.Source:
 				// Strong update: the destination now points exactly to
 				// the site.
 				set := bitmap.New()
@@ -143,7 +143,7 @@ func analyzeFunc(f *ir.Func, base *anders.Result, res *Result) {
 					defs[st.Dst] = true
 					emit(idx, st.Dst, set)
 				}
-			case ir.Return:
+			case ir.Return, ir.Sink:
 				// No binding change.
 			case ir.Branch:
 				thenState := copyState(state)

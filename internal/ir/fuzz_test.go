@@ -12,6 +12,8 @@ func FuzzParse(f *testing.F) {
 	f.Add("func f() {\n}")
 	f.Add("")
 	f.Add("func f(a, b) {\n *a = b\n x = call f(a, b)\n return x\n}")
+	f.Add("func f() {\n p = source T\n sink(p)\n}")
+	f.Add("func f(a) {\n branch {\n  s = source Secret\n  *a = s\n }\n x = *a\n sink(x)\n}")
 	f.Fuzz(func(t *testing.T, src string) {
 		prog, err := Parse(strings.NewReader(src))
 		if err != nil {

@@ -90,7 +90,7 @@ func genBody(f *Func, prog *Program, rng *rand.Rand, opts GenOptions, idx int) {
 		if dst == "" || src == "" {
 			break
 		}
-		switch rng.Intn(7) {
+		switch rng.Intn(9) {
 		case 0:
 			f.Body = append(f.Body, Stmt{Kind: Alloc, Dst: dst, Site: newSite()})
 		case 1:
@@ -119,6 +119,10 @@ func genBody(f *Func, prog *Program, rng *rand.Rand, opts GenOptions, idx int) {
 				br.Else = append(br.Else, simple())
 			}
 			f.Body = append(f.Body, br)
+		case 7:
+			f.Body = append(f.Body, Stmt{Kind: Source, Dst: dst, Site: newSite()})
+		case 8:
+			f.Body = append(f.Body, Stmt{Kind: Sink, Src: src})
 		}
 	}
 	if f.Name != "main" {

@@ -13,6 +13,15 @@
 //	*p = q          store
 //	p = call f(a,…) direct call with arguments and a returned pointer
 //	return p        function result
+//	p = source T    taint source: p holds a value labelled T
+//	sink(p)         taint sink / release point consuming p
+//
+// The source and sink forms exist for the static-analysis clients (package
+// clients): source introduces a labelled abstract object (the points-to
+// analysis treats it as an allocation at site T), and sink marks a
+// consumption point — the taint checker reports labels reaching it, and
+// the use-after-free checker treats it as releasing the objects its
+// argument points to.
 package ir
 
 import "fmt"
@@ -29,6 +38,8 @@ const (
 	Call                   // Dst = call Callee(Args...)
 	Return                 // return Src
 	Branch                 // branch { Then } else { Else } — nondeterministic
+	Source                 // Dst = source Site — taint source labelled Site
+	Sink                   // sink(Src) — taint sink / release point
 )
 
 func (k StmtKind) String() string {
@@ -47,16 +58,23 @@ func (k StmtKind) String() string {
 		return "return"
 	case Branch:
 		return "branch"
+	case Source:
+		return "source"
+	case Sink:
+		return "sink"
 	default:
 		return fmt.Sprintf("StmtKind(%d)", int(k))
 	}
 }
 
 // Stmt is one IR statement. Fields are used according to Kind:
-// Alloc uses Dst, Site; Copy/Load/Store use Dst, Src; Call uses Dst (may be
-// empty), Callee, Args; Return uses Src; Branch uses Then and Else (a
-// nondeterministic two-way split — the IR has no data conditions, which is
-// all a may-points-to analysis observes anyway).
+// Alloc and Source use Dst, Site; Copy/Load/Store use Dst, Src; Call uses
+// Dst (may be empty), Callee, Args; Return and Sink use Src; Branch uses
+// Then and Else (a nondeterministic two-way split — the IR has no data
+// conditions, which is all a may-points-to analysis observes anyway).
+// Line is the 1-based source line when the statement was parsed from text
+// (0 for programs built programmatically); the clients use it to position
+// findings.
 type Stmt struct {
 	Kind   StmtKind
 	Dst    string
@@ -66,6 +84,7 @@ type Stmt struct {
 	Args   []string
 	Then   []Stmt
 	Else   []Stmt
+	Line   int
 }
 
 func (s Stmt) String() string {
@@ -94,6 +113,10 @@ func (s Stmt) String() string {
 		return fmt.Sprintf("return %s", s.Src)
 	case Branch:
 		return fmt.Sprintf("branch{%d stmts}else{%d stmts}", len(s.Then), len(s.Else))
+	case Source:
+		return fmt.Sprintf("%s = source %s", s.Dst, s.Site)
+	case Sink:
+		return fmt.Sprintf("sink(%s)", s.Src)
 	default:
 		return fmt.Sprintf("<bad stmt kind %d>", int(s.Kind))
 	}
@@ -122,6 +145,12 @@ type Func struct {
 // otherwise every function is treated as a root.
 type Program struct {
 	Funcs []*Func
+
+	// Warnings holds the lint findings of the package-level Validate pass;
+	// Parse fills it in for accepted programs. Warnings never affect
+	// analysis results (undefined variables simply point nowhere), but the
+	// command-line tools surface them.
+	Warnings []Warning
 }
 
 // Func returns the function with the given name, or nil.
@@ -161,6 +190,8 @@ var reserved = map[string]bool{
 	"alloc":  true,
 	"call":   true,
 	"return": true,
+	"source": true,
+	"sink":   true,
 }
 
 // ValidName reports whether s is a legal identifier: a letter, '_' or '@'
@@ -228,9 +259,9 @@ func (p *Program) validateBody(f *Func, body []Stmt) error {
 		for i, s := range body {
 			where := fmt.Sprintf("ir: %s: stmt %d (%s)", f.Name, i, s)
 			switch s.Kind {
-			case Alloc:
+			case Alloc, Source:
 				if !ValidName(s.Dst) || !ValidName(s.Site) {
-					return fmt.Errorf("%s: alloc needs valid dst and site", where)
+					return fmt.Errorf("%s: %s needs valid dst and site", where, s.Kind)
 				}
 			case Copy, Load:
 				if !ValidName(s.Dst) || !ValidName(s.Src) {
@@ -257,9 +288,9 @@ func (p *Program) validateBody(f *Func, body []Stmt) error {
 						return fmt.Errorf("%s: invalid argument %q", where, a)
 					}
 				}
-			case Return:
+			case Return, Sink:
 				if !ValidName(s.Src) {
-					return fmt.Errorf("%s: return needs a valid value", where)
+					return fmt.Errorf("%s: %s needs a valid value", where, s.Kind)
 				}
 			case Branch:
 				if err := p.validateBody(f, s.Then); err != nil {

@@ -14,14 +14,16 @@ func main() {
   c = *b
   *a = c
   r = call id(a)
-  call sink(r)
+  call consume(r)
+  t = source T1
+  sink(t)
 }
 
 func id(x) {
   return x
 }
 
-func sink(v) {
+func consume(v) {
   g = alloc G
   *v = g
   return g
@@ -37,10 +39,10 @@ func TestParseSample(t *testing.T) {
 		t.Fatalf("parsed %d funcs, want 3", len(prog.Funcs))
 	}
 	main := prog.Func("main")
-	if main == nil || len(main.Body) != 6 {
+	if main == nil || len(main.Body) != 8 {
 		t.Fatalf("main wrong: %+v", main)
 	}
-	wantKinds := []StmtKind{Alloc, Copy, Load, Store, Call, Call}
+	wantKinds := []StmtKind{Alloc, Copy, Load, Store, Call, Call, Source, Sink}
 	for i, k := range wantKinds {
 		if main.Body[i].Kind != k {
 			t.Errorf("main stmt %d kind = %v, want %v", i, main.Body[i].Kind, k)
@@ -85,6 +87,11 @@ func TestParseErrors(t *testing.T) {
 		"func f(a) {\n}\nfunc g() {\n x = call f()\n}", // arity
 		"func f() {\n}\nfunc f() {\n}",                 // duplicate
 		"func f() {\n return\n}",                       // return w/o value is malformed
+		"func f() {\n sink()\n}",                       // sink needs a pointer
+		"func f(a) {\n sink(a\n}",                      // unterminated sink
+		"func f() {\n p = source\n}",                   // source without a label is a copy of a reserved name
+		"func sink() {\n}",                             // reserved function name
+		"func f(source) {\n}",                          // reserved parameter name
 	}
 	for _, c := range cases {
 		if _, err := Parse(strings.NewReader(c)); err == nil {
@@ -102,6 +109,8 @@ func TestStmtString(t *testing.T) {
 		"p = call f(a, b)": {Kind: Call, Dst: "p", Callee: "f", Args: []string{"a", "b"}},
 		"call f()":         {Kind: Call, Callee: "f"},
 		"return p":         {Kind: Return, Src: "p"},
+		"p = source T":     {Kind: Source, Dst: "p", Site: "T"},
+		"sink(p)":          {Kind: Sink, Src: "p"},
 	}
 	for want, s := range cases {
 		if got := s.String(); got != want {
@@ -118,6 +127,94 @@ func TestValidateCatchesBadPrograms(t *testing.T) {
 	bad2 := &Program{Funcs: []*Func{{Name: "f", Body: []Stmt{{Kind: Call, Callee: "nope"}}}}}
 	if err := bad2.Validate(); err == nil {
 		t.Error("unknown callee accepted")
+	}
+}
+
+func TestParseRecordsLines(t *testing.T) {
+	prog, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := prog.Func("main")
+	// The sample has a leading blank line and a comment, so the first
+	// statement of main ("a = alloc A1") is on line 4.
+	if main.Body[0].Line != 4 {
+		t.Errorf("first stmt line = %d, want 4", main.Body[0].Line)
+	}
+	for i := 1; i < len(main.Body); i++ {
+		if main.Body[i].Line != main.Body[i-1].Line+1 {
+			t.Errorf("stmt %d line = %d, want %d", i, main.Body[i].Line, main.Body[i-1].Line+1)
+		}
+	}
+	prog2, err := Parse(strings.NewReader("func f() {\n branch {\n  a = alloc A\n }\n}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := prog2.Func("f").Body[0]
+	if br.Line != 2 || br.Then[0].Line != 3 {
+		t.Errorf("branch lines = %d/%d, want 2/3", br.Line, br.Then[0].Line)
+	}
+}
+
+func TestLintWarnings(t *testing.T) {
+	prog, err := Parse(strings.NewReader(`
+func main() {
+  a = alloc A
+  b = undefinedvar
+  *neverdef = a
+  sink(ghost)
+}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		`main: line 4: use of undefined variable "undefinedvar"`,
+		`main: line 5: store through undefined pointer "neverdef"`,
+		`main: line 6: use of undefined variable "ghost"`,
+	}
+	if len(prog.Warnings) != len(want) {
+		t.Fatalf("warnings = %v, want %d", prog.Warnings, len(want))
+	}
+	for i, w := range prog.Warnings {
+		if w.String() != want[i] {
+			t.Errorf("warning %d = %q, want %q", i, w, want[i])
+		}
+	}
+}
+
+func TestLintCleanProgram(t *testing.T) {
+	prog, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Warnings) != 0 {
+		t.Fatalf("sample produced warnings: %v", prog.Warnings)
+	}
+}
+
+func TestLintProgrammaticPrograms(t *testing.T) {
+	// Duplicate names and unknown callees are hard Parse errors, but the
+	// lint pass flags them on hand-built programs too.
+	prog := &Program{Funcs: []*Func{
+		{Name: "f", Body: []Stmt{{Kind: Call, Callee: "nope"}}},
+		{Name: "f"},
+	}}
+	var msgs []string
+	for _, w := range Validate(prog) {
+		msgs = append(msgs, w.String())
+	}
+	if len(msgs) != 2 || msgs[0] != `duplicate function "f"` || msgs[1] != `f: call to unknown function "nope"` {
+		t.Fatalf("lint = %v", msgs)
+	}
+	// A branch arm defining a variable counts as a definition (the lint is
+	// flow-insensitive); uses of it must not warn.
+	prog2, err := Parse(strings.NewReader("func f() {\n branch {\n  p = alloc A\n }\n q = p\n}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog2.Warnings) != 0 {
+		t.Fatalf("branch-defined variable warned: %v", prog2.Warnings)
 	}
 }
 

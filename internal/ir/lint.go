@@ -1,0 +1,89 @@
+package ir
+
+import "fmt"
+
+// Warning is one non-fatal lint finding produced by the package-level
+// Validate pass.
+type Warning struct {
+	Func string // enclosing function, "" for program-level warnings
+	Line int    // 1-based source line when known, 0 otherwise
+	Msg  string
+}
+
+func (w Warning) String() string {
+	switch {
+	case w.Func == "":
+		return w.Msg
+	case w.Line > 0:
+		return fmt.Sprintf("%s: line %d: %s", w.Func, w.Line, w.Msg)
+	default:
+		return fmt.Sprintf("%s: %s", w.Func, w.Msg)
+	}
+}
+
+// Validate lints a program and returns warnings: uses of variables never
+// defined anywhere in their function, stores through never-defined
+// pointers, calls to unknown functions, and duplicate function names.
+//
+// Unlike the structural (*Program).Validate method — which rejects
+// programs the analyses cannot process at all — nothing here is fatal:
+// the points-to analyses treat an undefined variable as pointing nowhere.
+// Each warning marks a spot where a points-to set is silently empty or a
+// call edge silently missing, which usually means the program under
+// analysis is not the one the author intended. Parse runs this pass on
+// every accepted program and attaches the result to Program.Warnings;
+// cmd/ptagen and cmd/ptalint print them.
+//
+// Warnings are emitted in a deterministic order: program-level first,
+// then per function in statement (pre-order) order.
+func Validate(prog *Program) []Warning {
+	var out []Warning
+	seen := map[string]bool{}
+	for _, f := range prog.Funcs {
+		if seen[f.Name] {
+			out = append(out, Warning{Msg: fmt.Sprintf("duplicate function %q", f.Name)})
+		}
+		seen[f.Name] = true
+	}
+	for _, f := range prog.Funcs {
+		defined := map[string]bool{}
+		for _, p := range f.Params {
+			defined[p] = true
+		}
+		Walk(f.Body, func(s *Stmt) {
+			switch s.Kind {
+			case Alloc, Source, Copy, Load, Call:
+				if s.Dst != "" {
+					defined[s.Dst] = true
+				}
+			}
+		})
+		warn := func(s *Stmt, format string, args ...any) {
+			out = append(out, Warning{Func: f.Name, Line: s.Line, Msg: fmt.Sprintf(format, args...)})
+		}
+		Walk(f.Body, func(s *Stmt) {
+			use := func(v string) {
+				if v != "" && !defined[v] {
+					warn(s, "use of undefined variable %q", v)
+				}
+			}
+			switch s.Kind {
+			case Copy, Load, Return, Sink:
+				use(s.Src)
+			case Store:
+				if !defined[s.Dst] {
+					warn(s, "store through undefined pointer %q", s.Dst)
+				}
+				use(s.Src)
+			case Call:
+				if !seen[s.Callee] {
+					warn(s, "call to unknown function %q", s.Callee)
+				}
+				for _, a := range s.Args {
+					use(a)
+				}
+			}
+		})
+	}
+	return out
+}

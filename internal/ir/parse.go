@@ -17,6 +17,8 @@ import (
 //	  *p = q
 //	  p = call f(a, b)
 //	  call f(a)
+//	  p = source T
+//	  sink(p)
 //	  branch {
 //	    p = alloc Other
 //	  } else {
@@ -26,6 +28,9 @@ import (
 //	}
 //
 // A branch's else arm may be omitted by closing with a bare "}".
+// Statements record their 1-based source line in Stmt.Line, and the
+// accepted program carries the lint warnings of Validate in
+// Program.Warnings.
 func Parse(r io.Reader) (*Program, error) {
 	prog := &Program{}
 
@@ -35,6 +40,7 @@ func Parse(r io.Reader) (*Program, error) {
 		stmts     []Stmt // statements collected for the open block
 		inElse    bool   // branch frame: currently in the else arm
 		thenStmts []Stmt // branch frame: completed then arm
+		line      int    // branch frame: line of the opening "branch {"
 	}
 	var stack []*frame
 	top := func() *frame { return stack[len(stack)-1] }
@@ -62,7 +68,7 @@ func Parse(r io.Reader) (*Program, error) {
 			if len(stack) == 0 {
 				return nil, fmt.Errorf("ir: line %d: branch outside func", lineNo)
 			}
-			stack = append(stack, &frame{})
+			stack = append(stack, &frame{line: lineNo})
 		case line == "} else {":
 			if len(stack) < 2 || top().fn != nil || top().inElse {
 				return nil, fmt.Errorf("ir: line %d: unmatched } else {", lineNo)
@@ -82,7 +88,7 @@ func Parse(r io.Reader) (*Program, error) {
 				prog.Funcs = append(prog.Funcs, f.fn)
 				continue
 			}
-			st := Stmt{Kind: Branch}
+			st := Stmt{Kind: Branch, Line: f.line}
 			if f.inElse {
 				st.Then, st.Else = f.thenStmts, f.stmts
 			} else {
@@ -93,7 +99,7 @@ func Parse(r io.Reader) (*Program, error) {
 			if len(stack) == 0 {
 				return nil, fmt.Errorf("ir: line %d: statement outside func", lineNo)
 			}
-			s, err := parseStmt(line)
+			s, err := parseStmt(line, lineNo)
 			if err != nil {
 				return nil, fmt.Errorf("ir: line %d: %w", lineNo, err)
 			}
@@ -109,6 +115,7 @@ func Parse(r io.Reader) (*Program, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
+	prog.Warnings = Validate(prog)
 	return prog, nil
 }
 
@@ -142,16 +149,26 @@ func parseFuncHeader(line string) (*Func, error) {
 	return f, nil
 }
 
-func parseStmt(line string) (Stmt, error) {
+func parseStmt(line string, lineNo int) (Stmt, error) {
 	if strings.HasPrefix(line, "return ") {
-		return Stmt{Kind: Return, Src: strings.TrimSpace(strings.TrimPrefix(line, "return "))}, nil
+		return Stmt{Kind: Return, Src: strings.TrimSpace(strings.TrimPrefix(line, "return ")), Line: lineNo}, nil
 	}
 	if strings.HasPrefix(line, "call ") {
 		callee, args, err := parseCallExpr(strings.TrimPrefix(line, "call "))
 		if err != nil {
 			return Stmt{}, err
 		}
-		return Stmt{Kind: Call, Callee: callee, Args: args}, nil
+		return Stmt{Kind: Call, Callee: callee, Args: args, Line: lineNo}, nil
+	}
+	if rest := strings.TrimSpace(strings.TrimPrefix(line, "sink")); rest != line && strings.HasPrefix(rest, "(") {
+		if !strings.HasSuffix(rest, ")") {
+			return Stmt{}, fmt.Errorf("malformed sink statement %q", line)
+		}
+		arg := strings.TrimSpace(rest[1 : len(rest)-1])
+		if arg == "" {
+			return Stmt{}, fmt.Errorf("sink needs exactly one pointer in %q", line)
+		}
+		return Stmt{Kind: Sink, Src: arg, Line: lineNo}, nil
 	}
 	eq := strings.Index(line, "=")
 	if eq < 0 {
@@ -163,21 +180,23 @@ func parseStmt(line string) (Stmt, error) {
 		return Stmt{}, fmt.Errorf("malformed statement %q", line)
 	}
 	if strings.HasPrefix(lhs, "*") {
-		return Stmt{Kind: Store, Dst: strings.TrimSpace(lhs[1:]), Src: rhs}, nil
+		return Stmt{Kind: Store, Dst: strings.TrimSpace(lhs[1:]), Src: rhs, Line: lineNo}, nil
 	}
 	switch {
 	case strings.HasPrefix(rhs, "alloc "):
-		return Stmt{Kind: Alloc, Dst: lhs, Site: strings.TrimSpace(strings.TrimPrefix(rhs, "alloc "))}, nil
+		return Stmt{Kind: Alloc, Dst: lhs, Site: strings.TrimSpace(strings.TrimPrefix(rhs, "alloc ")), Line: lineNo}, nil
+	case strings.HasPrefix(rhs, "source "):
+		return Stmt{Kind: Source, Dst: lhs, Site: strings.TrimSpace(strings.TrimPrefix(rhs, "source ")), Line: lineNo}, nil
 	case strings.HasPrefix(rhs, "call "):
 		callee, args, err := parseCallExpr(strings.TrimPrefix(rhs, "call "))
 		if err != nil {
 			return Stmt{}, err
 		}
-		return Stmt{Kind: Call, Dst: lhs, Callee: callee, Args: args}, nil
+		return Stmt{Kind: Call, Dst: lhs, Callee: callee, Args: args, Line: lineNo}, nil
 	case strings.HasPrefix(rhs, "*"):
-		return Stmt{Kind: Load, Dst: lhs, Src: strings.TrimSpace(rhs[1:])}, nil
+		return Stmt{Kind: Load, Dst: lhs, Src: strings.TrimSpace(rhs[1:]), Line: lineNo}, nil
 	default:
-		return Stmt{Kind: Copy, Dst: lhs, Src: rhs}, nil
+		return Stmt{Kind: Copy, Dst: lhs, Src: rhs, Line: lineNo}, nil
 	}
 }
 

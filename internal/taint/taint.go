@@ -1,0 +1,286 @@
+// Package taint implements a flow-insensitive, alias-aware taint /
+// value-flow propagation engine over the pointer IR — the third client
+// family the paper's pipelined-bug-detection scenario (§1, scenario 1)
+// motivates, alongside the race and leak detectors in package clients.
+//
+// The engine is a pure consumer of persisted pointer information: the only
+// thing it needs from the points-to analysis is the ListPointsTo query (the
+// Oracle interface) plus the name↔ID tables (the Namer interface), so any
+// backend — core.Index decoded from a .pes file, demand.Oracle over the raw
+// matrix, or bitenc.Encoding — can drive it without re-running the
+// analysis. This is exactly the value-flow workload PIP-style checkers run
+// on top of Andersen results.
+//
+// Propagation model. Taint labels are introduced by `p = source T`
+// statements and flow along the value-flow graph induced by the IR:
+//
+//	d = s       labels(s) ⊆ labels(d)
+//	d = *s      labels(cell(o)) ⊆ labels(d)  for every o ∈ pts(s)
+//	*d = s      labels(s) ⊆ labels(cell(o))  for every o ∈ pts(d)
+//	d = call f  labels flow args→params and callee returns→d
+//	sink(p)     consumption point: labels(p) are reported
+//
+// pts(·) comes from the oracle, so aliasing through the heap is resolved
+// with the same persisted information every other checker uses; cell(o) is
+// the per-object heap node (the "@heap.<site>" row the Andersen exporter
+// also materializes). The graph is static — pts sets are already a
+// fixpoint — so propagation is a single worklist pass over label sets.
+package taint
+
+import (
+	"fmt"
+	"sort"
+
+	"pestrie/internal/ir"
+)
+
+// Oracle is the slice of persisted pointer information the engine
+// consumes. core.Index, demand.Oracle, and bitenc.Encoding all satisfy it.
+type Oracle interface {
+	ListPointsTo(p int) []int
+}
+
+// Namer resolves IR names ("func.var") to matrix pointer IDs.
+// anders.Result satisfies it.
+type Namer interface {
+	PointerID(name string) int
+}
+
+// Label identifies one taint source: the site label of a `p = source T`
+// statement plus its position.
+type Label struct {
+	Name string // the T in `p = source T`
+	Func string // function containing the source statement
+	Line int    // 1-based source line, 0 for programmatic programs
+	Stmt int    // pre-order statement index within Func
+}
+
+func (l Label) String() string {
+	if l.Line > 0 {
+		return fmt.Sprintf("%s (%s:%d)", l.Name, l.Func, l.Line)
+	}
+	return fmt.Sprintf("%s (%s:#%d)", l.Name, l.Func, l.Stmt)
+}
+
+// SinkSite is one `sink(p)` statement.
+type SinkSite struct {
+	Func string
+	Var  string // the consumed pointer
+	Line int
+	Stmt int
+}
+
+// Hit is a sink reached by at least one taint label.
+type Hit struct {
+	Sink    SinkSite
+	Sources []Label // sorted by (Name, Func, Line, Stmt)
+}
+
+// Result holds the propagation fixpoint.
+type Result struct {
+	sinks  []SinkSite
+	labels []Label
+
+	nodeOf map[string]int // var "fn.v" or heap cell "@heap#<obj>" -> node
+	reach  []labelSet     // node -> labels reaching it
+}
+
+// labelSet is a small set of label indices.
+type labelSet map[int]struct{}
+
+type engine struct {
+	prog  *ir.Program
+	q     Oracle
+	names Namer
+
+	res   *Result
+	edges [][]int         // value-flow successors per node
+	seen  map[[2]int]bool // dedup for edges
+}
+
+// Analyze builds the value-flow graph of prog, resolving loads and stores
+// through the oracle, and propagates source labels to a fixpoint.
+func Analyze(prog *ir.Program, q Oracle, names Namer) *Result {
+	e := &engine{
+		prog:  prog,
+		q:     q,
+		names: names,
+		res: &Result{
+			nodeOf: map[string]int{},
+		},
+		seen: map[[2]int]bool{},
+	}
+	e.build()
+	e.propagate()
+	return e.res
+}
+
+func (e *engine) node(key string) int {
+	if n, ok := e.res.nodeOf[key]; ok {
+		return n
+	}
+	n := len(e.res.reach)
+	e.res.nodeOf[key] = n
+	e.res.reach = append(e.res.reach, labelSet{})
+	e.edges = append(e.edges, nil)
+	return n
+}
+
+func (e *engine) varNode(fn, v string) int { return e.node(fn + "." + v) }
+func (e *engine) cellNode(obj int) int     { return e.node(fmt.Sprintf("@heap#%d", obj)) }
+func (e *engine) addEdge(from, to int) {
+	if from == to || e.seen[[2]int{from, to}] {
+		return
+	}
+	e.seen[[2]int{from, to}] = true
+	e.edges[from] = append(e.edges[from], to)
+}
+
+// pts returns the sorted points-to set of variable fn.v, or nil when the
+// pointer is unknown to the persisted information.
+func (e *engine) pts(fn, v string) []int {
+	id := e.names.PointerID(fn + "." + v)
+	if id < 0 {
+		return nil
+	}
+	out := append([]int(nil), e.q.ListPointsTo(id)...)
+	sort.Ints(out)
+	return out
+}
+
+func (e *engine) build() {
+	for _, f := range e.prog.Funcs {
+		f := f
+		idx := -1 // pre-order statement number, branch arms included
+		ir.Walk(f.Body, func(st *ir.Stmt) {
+			idx++
+			switch st.Kind {
+			case ir.Source:
+				lbl := len(e.res.labels)
+				e.res.labels = append(e.res.labels, Label{
+					Name: st.Site, Func: f.Name, Line: st.Line, Stmt: idx,
+				})
+				e.res.reach[e.varNode(f.Name, st.Dst)][lbl] = struct{}{}
+			case ir.Sink:
+				e.res.sinks = append(e.res.sinks, SinkSite{
+					Func: f.Name, Var: st.Src, Line: st.Line, Stmt: idx,
+				})
+				e.varNode(f.Name, st.Src) // ensure the node exists
+			case ir.Copy:
+				e.addEdge(e.varNode(f.Name, st.Src), e.varNode(f.Name, st.Dst))
+			case ir.Load:
+				dst := e.varNode(f.Name, st.Dst)
+				for _, o := range e.pts(f.Name, st.Src) {
+					e.addEdge(e.cellNode(o), dst)
+				}
+			case ir.Store:
+				src := e.varNode(f.Name, st.Src)
+				for _, o := range e.pts(f.Name, st.Dst) {
+					e.addEdge(src, e.cellNode(o))
+				}
+			case ir.Call:
+				callee := e.prog.Func(st.Callee)
+				if callee == nil {
+					return // lint warns; no value flow to model
+				}
+				for i, a := range st.Args {
+					if i < len(callee.Params) {
+						e.addEdge(e.varNode(f.Name, a), e.varNode(callee.Name, callee.Params[i]))
+					}
+				}
+				if st.Dst != "" {
+					dst := e.varNode(f.Name, st.Dst)
+					ir.Walk(callee.Body, func(cs *ir.Stmt) {
+						if cs.Kind == ir.Return {
+							e.addEdge(e.varNode(callee.Name, cs.Src), dst)
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// propagate pushes label sets along value-flow edges to a fixpoint.
+func (e *engine) propagate() {
+	work := make([]int, 0, len(e.res.reach))
+	inWork := make([]bool, len(e.res.reach))
+	for n := range e.res.reach {
+		if len(e.res.reach[n]) > 0 {
+			work = append(work, n)
+			inWork[n] = true
+		}
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[n] = false
+		for _, succ := range e.edges[n] {
+			changed := false
+			for lbl := range e.res.reach[n] {
+				if _, ok := e.res.reach[succ][lbl]; !ok {
+					e.res.reach[succ][lbl] = struct{}{}
+					changed = true
+				}
+			}
+			if changed && !inWork[succ] {
+				inWork[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+}
+
+// Labels returns all declared taint sources in declaration order.
+func (r *Result) Labels() []Label { return append([]Label(nil), r.labels...) }
+
+// Sinks returns all sink sites in declaration order.
+func (r *Result) Sinks() []SinkSite { return append([]SinkSite(nil), r.sinks...) }
+
+// LabelsOf returns the taint labels reaching variable v of function fn,
+// sorted by (Name, Func, Line, Stmt).
+func (r *Result) LabelsOf(fn, v string) []Label {
+	n, ok := r.nodeOf[fn+"."+v]
+	if !ok {
+		return nil
+	}
+	return r.sortedLabels(r.reach[n])
+}
+
+func (r *Result) sortedLabels(set labelSet) []Label {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]Label, 0, len(set))
+	for lbl := range set {
+		out = append(out, r.labels[lbl])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Stmt < b.Stmt
+	})
+	return out
+}
+
+// Hits returns every sink reached by at least one label, in sink
+// declaration order with sorted sources — deterministic across runs and
+// across oracle backends.
+func (r *Result) Hits() []Hit {
+	var out []Hit
+	for _, s := range r.sinks {
+		srcs := r.LabelsOf(s.Func, s.Var)
+		if len(srcs) > 0 {
+			out = append(out, Hit{Sink: s, Sources: srcs})
+		}
+	}
+	return out
+}

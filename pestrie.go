@@ -28,6 +28,7 @@ import (
 
 	"pestrie/internal/anders"
 	"pestrie/internal/bitenc"
+	"pestrie/internal/clients"
 	"pestrie/internal/compose"
 	"pestrie/internal/core"
 	"pestrie/internal/demand"
@@ -206,6 +207,41 @@ func NormalizeConditioned(facts []CondFact) *Normalized { return anders.Normaliz
 func MergeContexts(facts []CondFact, rep func(string) string) []CondFact {
 	return anders.MergeContexts(facts, rep)
 }
+
+// --- static-analysis clients (cmd/ptalint) -----------------------------
+
+// Finding is one result from the static-analysis client suite: the checker
+// that produced it, its position, and a message. Findings render as
+// "func:line: check: msg".
+type Finding = clients.Finding
+
+// ClientQueries is the persisted-information contract the checkers
+// consume: Querier plus the object-side ListPointedBy. The Pestrie Index
+// and the demand oracle both satisfy it, which is what lets the whole
+// suite run unchanged off either backend.
+type ClientQueries = clients.Queries
+
+// LintWarning is one advisory finding from the IR validator; parsed
+// programs carry them in Program.Warnings.
+type LintWarning = ir.Warning
+
+// CheckNames lists the five available checkers in canonical order:
+// leak, nullderef, race, taint, uaf.
+func CheckNames() []string { return append([]string(nil), clients.CheckNames...) }
+
+// RunCheckers runs the named checkers (see CheckNames) over a program and
+// its analysis result, answering every pointer query through q, and
+// returns deterministically sorted findings. leakRoots names the function
+// whose locals form the leak checker's root set (conventionally "main").
+func RunCheckers(prog *Program, res *AnalysisResult, q ClientQueries, checks []string, leakRoots string) ([]Finding, error) {
+	return clients.Run(prog, res, q, checks, leakRoots)
+}
+
+// Compile-time checks that both query backends can drive the checkers.
+var (
+	_ ClientQueries = (*Index)(nil)
+	_ ClientQueries = (*DemandOracle)(nil)
+)
 
 // --- workloads ---------------------------------------------------------
 
