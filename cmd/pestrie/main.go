@@ -8,20 +8,34 @@
 //	pestrie query -in pm.pes -op isalias -p 3 -q 7
 //	pestrie query -in pm.pes -op aliases|pointsto -p 3
 //	pestrie query -in pm.pes -op pointedby -o 5
+//	pestrie serve -in pm.pes[,name=other.pes...] -addr :7171
+//	pestrie bench-serve -addr http://host:7171 -in pm.pes -n 200
+//
+// serve answers the four Table-1 queries plus batches over HTTP/JSON (see
+// internal/server); bench-serve replays a §7.1.1 base-pointer query mix
+// against a running server and reports throughput and latency.
 //
 // Matrix files (.ptm) are produced by cmd/ptagen.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"sort"
+	"strings"
+	"syscall"
+	"time"
 
 	"pestrie"
 	"pestrie/internal/core"
 	"pestrie/internal/perf"
+	"pestrie/internal/server"
+	"pestrie/internal/synth"
 )
 
 func main() {
@@ -38,6 +52,10 @@ func main() {
 		err = query(os.Args[2:])
 	case "verify":
 		err = verify(os.Args[2:])
+	case "serve":
+		err = serve(os.Args[2:])
+	case "bench-serve":
+		err = benchServe(os.Args[2:])
 	default:
 		usage()
 	}
@@ -48,8 +66,167 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pestrie <encode|info|query|verify> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pestrie <encode|info|query|verify|serve|bench-serve> [flags]")
 	os.Exit(2)
+}
+
+// newQueryServer builds a server from the -in specification: a
+// comma-separated list of [name=]path.pes entries. An unnamed entry takes
+// its file stem as backend name; a single unnamed entry is also reachable
+// as "default" (the implicit backend of one-index deployments).
+func newQueryServer(spec string, opts server.Options) (*server.Server, error) {
+	entries := strings.Split(spec, ",")
+	s := server.New(opts)
+	for _, e := range entries {
+		name, path := "", e
+		if i := strings.IndexByte(e, '='); i >= 0 {
+			name, path = e[:i], e[i+1:]
+		}
+		if path == "" {
+			return nil, fmt.Errorf("serve: empty path in -in entry %q", e)
+		}
+		if name == "" {
+			name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+			if len(entries) == 1 {
+				name = "default"
+			}
+		}
+		idx, err := pestrie.LoadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.AddIndex(name, idx); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	in := fs.String("in", "", "persistent files to serve: [name=]file.pes, comma-separated")
+	addr := fs.String("addr", ":7171", "listen address")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
+	workers := fs.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
+	maxBatch := fs.Int("max-batch", 0, "max queries per batch request (0 = 65536)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("serve needs -in")
+	}
+	s, err := newQueryServer(*in, server.Options{
+		RequestTimeout: *timeout,
+		BatchWorkers:   *workers,
+		MaxBatch:       *maxBatch,
+	})
+	if err != nil {
+		return err
+	}
+	for _, b := range s.Backends() {
+		fmt.Printf("backend %s: %d pointers, %d objects, %d groups, %d rectangles\n",
+			b.Name, b.Pointers, b.Objects, b.Groups, b.Rectangles)
+	}
+	fmt.Printf("serving on %s (timeout %s)\n", *addr, *timeout)
+
+	// Graceful shutdown: close the listener on SIGINT/SIGTERM and give
+	// in-flight requests a grace period to drain.
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe(*addr) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		return err
+	case <-sig:
+		fmt.Println("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			return err
+		}
+		<-done
+		return nil
+	}
+}
+
+// parseMix parses "isalias=60,aliases=15,pointsto=15,pointedby=10".
+func parseMix(spec string) (server.Mix, error) {
+	m := server.Mix{}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("bench-serve: bad -mix entry %q", part)
+		}
+		var w int
+		if _, err := fmt.Sscanf(kv[1], "%d", &w); err != nil || w < 0 {
+			return m, fmt.Errorf("bench-serve: bad -mix weight %q", part)
+		}
+		switch kv[0] {
+		case "isalias":
+			m.IsAlias = w
+		case "aliases":
+			m.Aliases = w
+		case "pointsto":
+			m.PointsTo = w
+		case "pointedby":
+			m.PointedBy = w
+		default:
+			return m, fmt.Errorf("bench-serve: unknown -mix op %q", kv[0])
+		}
+	}
+	return m, nil
+}
+
+func benchServe(args []string) error {
+	fs := flag.NewFlagSet("bench-serve", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:7171", "server base URL")
+	in := fs.String("in", "", "persistent file the server loaded (query-population source)")
+	backend := fs.String("backend", "", "backend name (empty for single-backend servers)")
+	n := fs.Int("n", 200, "batch requests to send")
+	batch := fs.Int("batch", 256, "queries per batch")
+	conc := fs.Int("concurrency", 8, "in-flight requests")
+	stride := fs.Int("stride", 10, "base-pointer stride (§7.1.1 population)")
+	seed := fs.Int64("seed", 1, "query-stream seed")
+	mixSpec := fs.String("mix", "", "query mix, e.g. isalias=60,aliases=15,pointsto=15,pointedby=10")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("bench-serve needs -in")
+	}
+	idx, err := pestrie.LoadFile(*in)
+	if err != nil {
+		return err
+	}
+	// The §7.1.1 query population: base pointers of loads and stores,
+	// approximated by the stride sample over pointers with non-empty
+	// points-to sets, recovered from the persistent image itself.
+	pm := idx.RecoverMatrix()
+	base := synth.BasePointers(pm, *stride)
+	if len(base) == 0 {
+		return fmt.Errorf("bench-serve: %s has no pointers with non-empty points-to sets", *in)
+	}
+	mix := server.DefaultMix
+	if *mixSpec != "" {
+		if mix, err = parseMix(*mixSpec); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("replaying %d×%d queries over %d base pointers against %s\n",
+		*n, *batch, len(base), *addr)
+	report, err := server.RunBench(context.Background(), server.BenchOptions{
+		URL:         strings.TrimSuffix(*addr, "/"),
+		Backend:     *backend,
+		Base:        base,
+		NumObjects:  idx.NumObjects,
+		Requests:    *n,
+		BatchSize:   *batch,
+		Concurrency: *conc,
+		Seed:        *seed,
+		Mix:         mix,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(report)
+	return nil
 }
 
 // verify recovers the full points-to matrix from a persistent file and

@@ -1,11 +1,16 @@
 package main
 
 import (
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"pestrie"
+	"pestrie/internal/server"
 )
 
 func writeTestMatrix(t *testing.T, dir string) string {
@@ -185,6 +190,92 @@ func TestErrors(t *testing.T) {
 	} {
 		if err := query(args); err == nil {
 			t.Errorf("query %v: out-of-range ID accepted", args)
+		}
+	}
+}
+
+// TestServeAndBenchServe runs the full serve workflow end to end: encode a
+// matrix, build the server from the -in spec, drive it over a real HTTP
+// listener with the bench-serve subcommand, and hit the single-query and
+// stats endpoints.
+func TestServeAndBenchServe(t *testing.T) {
+	dir := t.TempDir()
+	ptm := writeTestMatrix(t, dir)
+	pes := filepath.Join(dir, "m.pes")
+	if err := encode([]string{"-in", ptm, "-out", pes}); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	s, err := newQueryServer(pes, server.Options{})
+	if err != nil {
+		t.Fatalf("newQueryServer: %v", err)
+	}
+	bs := s.Backends()
+	if len(bs) != 1 || bs[0].Name != "default" {
+		t.Fatalf("single unnamed index should register as default, got %+v", bs)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if err := benchServe([]string{
+		"-addr", ts.URL, "-in", pes, "-n", "5", "-batch", "20",
+		"-concurrency", "2", "-stride", "1",
+		"-mix", "isalias=50,aliases=20,pointsto=20,pointedby=10",
+	}); err != nil {
+		t.Fatalf("bench-serve: %v", err)
+	}
+
+	resp, err := http.Post(ts.URL+"/query", "application/json",
+		strings.NewReader(`{"op":"isalias","p":0,"q":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "alias") {
+		t.Fatalf("query: status %d body %s", resp.StatusCode, body)
+	}
+
+	st := s.Stats()
+	if st.Backends["default"]["batch"].Count != 5 {
+		t.Fatalf("batch count = %d, want 5", st.Backends["default"]["batch"].Count)
+	}
+}
+
+func TestServeMultipleNamedBackends(t *testing.T) {
+	dir := t.TempDir()
+	ptm := writeTestMatrix(t, dir)
+	lib := filepath.Join(dir, "lib.pes")
+	app := filepath.Join(dir, "app.pes")
+	for _, out := range []string{lib, app} {
+		if err := encode([]string{"-in", ptm, "-out", out}); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+	}
+	s, err := newQueryServer("lib="+lib+","+app, server.Options{})
+	if err != nil {
+		t.Fatalf("newQueryServer: %v", err)
+	}
+	names := []string{}
+	for _, b := range s.Backends() {
+		names = append(names, b.Name)
+	}
+	if len(names) != 2 || names[0] != "app" || names[1] != "lib" {
+		t.Fatalf("backends = %v, want [app lib]", names)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("isalias=70,pointsto=30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IsAlias != 70 || m.PointsTo != 30 || m.Aliases != 0 || m.PointedBy != 0 {
+		t.Fatalf("mix = %+v", m)
+	}
+	for _, bad := range []string{"x=1", "isalias", "isalias=-2", "isalias=zz"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Fatalf("parseMix(%q) accepted", bad)
 		}
 	}
 }

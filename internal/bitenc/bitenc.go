@@ -13,6 +13,7 @@ import (
 	"io"
 
 	"pestrie/internal/matrix"
+	"pestrie/internal/safeio"
 )
 
 const (
@@ -248,17 +249,24 @@ func Load(r io.Reader) (*Encoding, error) {
 	if e.NumObjects, err = u("object count"); err != nil {
 		return nil, err
 	}
-	e.ptrClassOf = make([]int, e.NumPointers)
-	for i := range e.ptrClassOf {
-		if e.ptrClassOf[i], err = u("pointer class"); err != nil {
+	// Class maps grow as entries arrive instead of trusting the header
+	// counts, so a truncated file claiming 2³⁰ pointers fails on a short
+	// read instead of forcing a multi-GiB allocation.
+	e.ptrClassOf = make([]int, 0, safeio.Cap(e.NumPointers))
+	for i := 0; i < e.NumPointers; i++ {
+		c, err := u("pointer class")
+		if err != nil {
 			return nil, err
 		}
+		e.ptrClassOf = append(e.ptrClassOf, c)
 	}
-	e.objClassOf = make([]int, e.NumObjects)
-	for i := range e.objClassOf {
-		if e.objClassOf[i], err = u("object class"); err != nil {
+	e.objClassOf = make([]int, 0, safeio.Cap(e.NumObjects))
+	for i := 0; i < e.NumObjects; i++ {
+		c, err := u("object class")
+		if err != nil {
 			return nil, err
 		}
+		e.objClassOf = append(e.objClassOf, c)
 	}
 	if e.pm, err = matrix.Read(br); err != nil {
 		return nil, fmt.Errorf("bitenc: PM: %w", err)
@@ -266,15 +274,28 @@ func Load(r io.Reader) (*Encoding, error) {
 	if e.am, err = matrix.Read(br); err != nil {
 		return nil, fmt.Errorf("bitenc: AM: %w", err)
 	}
+	// Encode numbers classes densely, so the class matrices must agree
+	// exactly with the class maps: PM is nPtrClasses × nObjClasses and AM
+	// is square over pointer classes. Anything else would let row bits
+	// index past the member tables built from the maps.
+	nPtr, nObj := 0, 0
 	for _, c := range e.ptrClassOf {
-		if c >= e.pm.NumPointers {
-			return nil, fmt.Errorf("bitenc: pointer class %d out of range", c)
+		if c+1 > nPtr {
+			nPtr = c + 1
 		}
 	}
 	for _, c := range e.objClassOf {
-		if c >= e.pm.NumObjects {
-			return nil, fmt.Errorf("bitenc: object class %d out of range", c)
+		if c+1 > nObj {
+			nObj = c + 1
 		}
+	}
+	if e.pm.NumPointers != nPtr || e.pm.NumObjects != nObj {
+		return nil, fmt.Errorf("bitenc: class PM is %d×%d but class maps define %d×%d classes",
+			e.pm.NumPointers, e.pm.NumObjects, nPtr, nObj)
+	}
+	if e.am.NumPointers != nPtr || e.am.NumObjects != nPtr {
+		return nil, fmt.Errorf("bitenc: AM is %d×%d, want %d×%d over pointer classes",
+			e.am.NumPointers, e.am.NumObjects, nPtr, nPtr)
 	}
 	e.pmt = e.pm.Transpose()
 	e.buildMembers()

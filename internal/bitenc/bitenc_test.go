@@ -2,7 +2,9 @@ package bitenc
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
+	"runtime"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -193,5 +195,49 @@ func TestQuickAgainstBruteForce(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLoadTruncationSweep checks that every strict prefix of a valid BitP
+// file — class maps, PM section, AM section — errors instead of decoding
+// or panicking.
+func TestLoadTruncationSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pm := randomPM(rng, 40, 16, 250)
+	var full bytes.Buffer
+	if _, err := Encode(pm).WriteTo(&full); err != nil {
+		t.Fatal(err)
+	}
+	data := full.Bytes()
+	if _, err := Load(bytes.NewReader(data)); err != nil {
+		t.Fatalf("full file must load: %v", err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Load(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(data))
+		}
+	}
+}
+
+// TestLoadAllocationBomb feeds a truncated header claiming 2²⁹ pointers;
+// the decoder must fail without allocating anywhere near the claim.
+func TestLoadAllocationBomb(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(bitMagic)
+	var b [binary.MaxVarintLen64]byte
+	for _, v := range []uint64{bitVersion, 1 << 29, 1 << 29} {
+		n := binary.PutUvarint(b[:], v)
+		buf.Write(b[:n])
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := Load(bytes.NewReader(buf.Bytes()))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("Load accepted a truncated file claiming 2^29 classes")
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 8<<20 {
+		t.Fatalf("decoding a %d-byte bomb allocated %d bytes", buf.Len(), grew)
 	}
 }

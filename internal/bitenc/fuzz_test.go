@@ -1,0 +1,43 @@
+package bitenc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// FuzzLoad throws arbitrary bytes at the BitP decoder: it must either
+// return an error or an Encoding whose queries don't panic. Seeds cover a
+// valid file, the magic/version prefix, and an allocation bomb.
+func FuzzLoad(f *testing.F) {
+	rng := rand.New(rand.NewSource(5))
+	var valid bytes.Buffer
+	if _, err := Encode(randomPM(rng, 12, 6, 40)).WriteTo(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(bitMagic))
+
+	var bomb bytes.Buffer
+	bomb.WriteString(bitMagic)
+	var b [binary.MaxVarintLen64]byte
+	for _, v := range []uint64{bitVersion, 1 << 29, 1 << 29} {
+		n := binary.PutUvarint(b[:], v)
+		bomb.Write(b[:n])
+	}
+	f.Add(bomb.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for p := 0; p < 4; p++ {
+			e.IsAlias(p, p+1)
+			e.ListAliases(p)
+			e.ListPointsTo(p)
+			e.ListPointedBy(p)
+		}
+	})
+}

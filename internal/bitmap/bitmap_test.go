@@ -3,6 +3,7 @@ package bitmap
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"sort"
 	"testing"
@@ -269,6 +270,33 @@ func TestReadFromTruncated(t *testing.T) {
 	var got Sparse
 	if err := got.ReadFrom(bufio.NewReader(bytes.NewReader(trunc))); err == nil {
 		t.Fatal("ReadFrom accepted truncated input")
+	}
+}
+
+// TestReadFromOverflow feeds delta streams whose accumulated index would
+// overflow int: the decoder must error instead of panicking in Set.
+// (Found by FuzzLoad in internal/bitenc.)
+func TestReadFromOverflow(t *testing.T) {
+	enc := func(vals ...uint64) []byte {
+		var buf bytes.Buffer
+		var b [binary.MaxVarintLen64]byte
+		for _, v := range vals {
+			n := binary.PutUvarint(b[:], v)
+			buf.Write(b[:n])
+		}
+		return buf.Bytes()
+	}
+	cases := [][]byte{
+		enc(1, 1<<63),           // single huge member
+		enc(2, maxBit, maxBit),  // gaps individually at the cap, sum over it
+		enc(3, 1, 1<<62, 1<<62), // overflow via accumulation
+		enc(1, ^uint64(0)>>1+1), // would wrap int negative
+	}
+	for _, data := range cases {
+		var got Sparse
+		if err := got.ReadFrom(bufio.NewReader(bytes.NewReader(data))); err == nil {
+			t.Fatalf("ReadFrom accepted overflowing stream %v", data)
+		}
 	}
 }
 

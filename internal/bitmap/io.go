@@ -38,6 +38,11 @@ func (s *Sparse) WriteTo(w io.Writer) (int64, error) {
 	return written, ferr
 }
 
+// maxBit bounds decoded member indexes. It is far above any plausible
+// matrix dimension; its job is rejecting corrupt delta streams whose
+// accumulated index would otherwise overflow int and panic in Set.
+const maxBit = 1 << 32
+
 // ReadFrom replaces the contents of s with a set previously written by
 // WriteTo.
 func (s *Sparse) ReadFrom(r io.ByteReader) error {
@@ -46,14 +51,17 @@ func (s *Sparse) ReadFrom(r io.ByteReader) error {
 	if err != nil {
 		return fmt.Errorf("bitmap: reading count: %w", err)
 	}
-	cur := 0
+	cur := uint64(0)
 	for i := uint64(0); i < n; i++ {
 		gap, err := binary.ReadUvarint(r)
 		if err != nil {
 			return fmt.Errorf("bitmap: reading member %d/%d: %w", i, n, err)
 		}
-		cur += int(gap)
-		s.Set(cur)
+		if gap > maxBit || cur+gap > maxBit {
+			return fmt.Errorf("bitmap: implausible member index %d (gap %d at member %d/%d)", cur+gap, gap, i, n)
+		}
+		cur += gap
+		s.Set(int(cur))
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"sort"
 
+	"pestrie/internal/safeio"
 	"pestrie/internal/segtree"
 )
 
@@ -193,19 +194,29 @@ func readFile(r io.Reader) (*fileContents, error) {
 	if fc.numGroups, err = u("group count"); err != nil {
 		return nil, err
 	}
-	fc.pointerTS = make([]int, fc.numPointers)
-	for i := range fc.pointerTS {
+	// Every group holds at least one pointer or is an origin holding at
+	// least one object (see partition in build.go), so legitimate files
+	// have numGroups ≤ numPointers + numObjects. Rejecting the rest also
+	// bounds buildIndex's per-group allocations by the number of timestamp
+	// entries actually present in the input.
+	if fc.numGroups > fc.numPointers+fc.numObjects {
+		return nil, fmt.Errorf("pestrie: implausible group count %d for %d pointers and %d objects",
+			fc.numGroups, fc.numPointers, fc.numObjects)
+	}
+	fc.pointerTS = make([]int, 0, safeio.Cap(fc.numPointers))
+	for i := 0; i < fc.numPointers; i++ {
 		v, err := u("pointer timestamp")
 		if err != nil {
 			return nil, err
 		}
-		fc.pointerTS[i] = v - 1
-		if fc.pointerTS[i] >= fc.numGroups {
+		if v-1 >= fc.numGroups {
 			return nil, fmt.Errorf("pestrie: pointer %d timestamp %d out of range", i, v-1)
 		}
+		fc.pointerTS = append(fc.pointerTS, v-1)
 	}
-	fc.objectTS = make([]int, fc.numObjects)
-	for i := range fc.objectTS {
+	originAtZero := false
+	fc.objectTS = make([]int, 0, safeio.Cap(fc.numObjects))
+	for i := 0; i < fc.numObjects; i++ {
 		v, err := u("object timestamp")
 		if err != nil {
 			return nil, err
@@ -213,7 +224,17 @@ func readFile(r io.Reader) (*fileContents, error) {
 		if v >= fc.numGroups {
 			return nil, fmt.Errorf("pestrie: object %d timestamp %d out of range", i, v)
 		}
-		fc.objectTS[i] = v
+		if v == 0 {
+			originAtZero = true
+		}
+		fc.objectTS = append(fc.objectTS, v)
+	}
+	// Timestamp 0 always belongs to the first origin, so a well-formed
+	// file with any groups at all has an object there. Queries rely on it:
+	// they index originTS[pesOf(ts)] unconditionally, which panics when the
+	// origin table is empty or starts past a placed pointer's timestamp.
+	if fc.numGroups > 0 && !originAtZero {
+		return nil, fmt.Errorf("pestrie: no origin object at timestamp 0")
 	}
 	for s := shapePoint; s < numShapes; s++ {
 		for c := 0; c < 2; c++ {
@@ -269,7 +290,12 @@ func readFile(r io.Reader) (*fileContents, error) {
 					}
 					r.X2, r.Y2 = r.X1+w, r.Y1+h
 				}
-				if r.Y2 >= fc.numGroups || !r.Canonical() {
+				// Both sides must stay inside the timestamp axis: buildIndex
+				// indexes ptList[a] for every a in [X1,X2] as well as
+				// [Y1,Y2]. Canonical (X1 ≤ X2 < Y1 ≤ Y2) narrows X2 further,
+				// but X2 is checked explicitly so a corrupted hline or rect
+				// fails here with an error instead of a panic downstream.
+				if r.X2 >= fc.numGroups || r.Y2 >= fc.numGroups || !r.Canonical() {
 					return nil, fmt.Errorf("pestrie: malformed rectangle %v", r)
 				}
 				fc.rects = append(fc.rects, r)

@@ -17,6 +17,14 @@ func FuzzLoad(f *testing.F) {
 	f.Add([]byte("PES1"))
 	f.Add([]byte{})
 	f.Add(append(append([]byte(nil), seed.Bytes()...), 0xff, 0x07))
+	// Regression seeds from the loader-hardening pass (see harden_test.go):
+	// a header bomb claiming 2²⁹ pointers, files whose origin table does
+	// not cover timestamp 0 (used to panic in ListAliases), and a rectangle
+	// running past the timestamp axis.
+	f.Add(bombFile())
+	f.Add(missingOriginFile())
+	f.Add(lateOriginFile())
+	f.Add(oversizedRectFile())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ix, err := Load(bytes.NewReader(data))

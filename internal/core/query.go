@@ -54,6 +54,10 @@ type listEntry struct {
 	mirror bool // true for the transposed orientation <Y1,Y2,X1,X2>
 }
 
+// listEntrySize is unsafe.Sizeof(listEntry{}): two int32 plus two bools,
+// padded to int32 alignment. TestListEntrySize pins this against drift.
+const listEntrySize = 12
+
 // Load decodes a persistent file written by (*Trie).WriteTo into an Index.
 func Load(r io.Reader) (*Index, error) {
 	fc, err := readFile(r)
@@ -325,7 +329,7 @@ func (ix *Index) MemoryFootprint() int64 {
 	n += int64(len(ix.pointerTS)+len(ix.objectTS)+len(ix.originTS)+len(ix.pesEnd)) * 8
 	n += int64(len(ix.pesOfTS)) * 4
 	for _, l := range ix.ptList {
-		n += int64(len(l))*10 + 24
+		n += int64(len(l))*listEntrySize + 24
 	}
 	n += int64(len(ix.ptrsFlat)+len(ix.startOfTS)) * 4
 	for _, l := range ix.objectsAt {

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"pestrie/internal/bitmap"
+	"pestrie/internal/safeio"
 )
 
 // Matrix file format ("PTM1"): the raw exported points-to information a
@@ -112,7 +113,7 @@ func ReadRaw(r io.Reader) (*PointsTo, error) {
 	if np > limit || no > limit {
 		return nil, fmt.Errorf("matrix: implausible raw dimensions %d×%d", np, no)
 	}
-	pm := New(int(np), int(no))
+	rows := make([]*bitmap.Sparse, 0, safeio.Cap(int(np)))
 	for p := 0; p < int(np); p++ {
 		count, err := get()
 		if err != nil {
@@ -121,6 +122,7 @@ func ReadRaw(r io.Reader) (*PointsTo, error) {
 		if count > no {
 			return nil, fmt.Errorf("matrix: raw row %d count %d exceeds objects", p, count)
 		}
+		var row *bitmap.Sparse
 		for i := uint32(0); i < count; i++ {
 			o, err := get()
 			if err != nil {
@@ -129,10 +131,14 @@ func ReadRaw(r io.Reader) (*PointsTo, error) {
 			if o >= no {
 				return nil, fmt.Errorf("matrix: raw row %d object %d out of range", p, o)
 			}
-			pm.Add(p, int(o))
+			if row == nil {
+				row = bitmap.New()
+			}
+			row.Set(int(o))
 		}
+		rows = append(rows, row)
 	}
-	return pm, nil
+	return &PointsTo{NumPointers: int(np), NumObjects: int(no), rows: rows}, nil
 }
 
 // Read deserializes a matrix written by WriteTo. When r is already a
@@ -162,17 +168,18 @@ func Read(r io.Reader) (*PointsTo, error) {
 	if np > limit || no > limit {
 		return nil, fmt.Errorf("matrix: implausible dimensions %d×%d", np, no)
 	}
-	pm := New(int(np), int(no))
+	// Rows are appended as they decode rather than preallocated from the
+	// untrusted header count: every row costs at least one input byte, so
+	// allocation stays proportional to the actual file size.
+	rows := make([]*bitmap.Sparse, 0, safeio.Cap(int(np)))
 	for p := 0; p < int(np); p++ {
 		row, err := readRow(br, int(no))
 		if err != nil {
 			return nil, fmt.Errorf("matrix: row %d: %w", p, err)
 		}
-		if row != nil {
-			pm.rows[p] = row
-		}
+		rows = append(rows, row)
 	}
-	return pm, nil
+	return &PointsTo{NumPointers: int(np), NumObjects: int(no), rows: rows}, nil
 }
 
 func readRow(br *bufio.Reader, numObjects int) (*bitmap.Sparse, error) {

@@ -2,8 +2,10 @@ package matrix
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -372,5 +374,77 @@ func TestQuickEquivalenceIsCongruence(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestReadTruncationSweep checks that every strict prefix of valid .ptm
+// and raw exports errors instead of decoding or panicking.
+func TestReadTruncationSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	pm := randomPM(rng, 50, 20, 300)
+	for name, enc := range map[string]struct {
+		write func(*PointsTo, *bytes.Buffer) error
+		read  func([]byte) error
+	}{
+		"ptm": {
+			func(pm *PointsTo, buf *bytes.Buffer) error { _, err := pm.WriteTo(buf); return err },
+			func(data []byte) error { _, err := Read(bytes.NewReader(data)); return err },
+		},
+		"raw": {
+			func(pm *PointsTo, buf *bytes.Buffer) error { _, err := pm.WriteRaw(buf); return err },
+			func(data []byte) error { _, err := ReadRaw(bytes.NewReader(data)); return err },
+		},
+	} {
+		var full bytes.Buffer
+		if err := enc.write(pm, &full); err != nil {
+			t.Fatal(err)
+		}
+		data := full.Bytes()
+		if err := enc.read(data); err != nil {
+			t.Fatalf("%s: full file must read: %v", name, err)
+		}
+		for cut := 0; cut < len(data); cut++ {
+			if err := enc.read(data[:cut]); err == nil {
+				t.Fatalf("%s: prefix of %d/%d bytes decoded without error", name, cut, len(data))
+			}
+		}
+	}
+}
+
+// TestReadAllocationBomb feeds truncated headers claiming 2²⁷ rows; the
+// decoders must fail without allocating anywhere near the claim.
+func TestReadAllocationBomb(t *testing.T) {
+	var ptm bytes.Buffer
+	ptm.WriteString(matrixMagic)
+	var b [binary.MaxVarintLen64]byte
+	for _, v := range []uint64{1 << 27, 1 << 27} {
+		n := binary.PutUvarint(b[:], v)
+		ptm.Write(b[:n])
+	}
+	var raw bytes.Buffer
+	for _, v := range []uint32{1 << 27, 1 << 27} {
+		var w [4]byte
+		binary.LittleEndian.PutUint32(w[:], v)
+		raw.Write(w[:])
+	}
+	for name, read := range map[string]func([]byte) error{
+		"ptm": func(data []byte) error { _, err := Read(bytes.NewReader(data)); return err },
+		"raw": func(data []byte) error { _, err := ReadRaw(bytes.NewReader(data)); return err },
+	} {
+		data := ptm.Bytes()
+		if name == "raw" {
+			data = raw.Bytes()
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		err := read(data)
+		runtime.ReadMemStats(&after)
+		if err == nil {
+			t.Fatalf("%s: accepted truncated file claiming 2^27 rows", name)
+		}
+		if grew := after.TotalAlloc - before.TotalAlloc; grew > 8<<20 {
+			t.Fatalf("%s: decoding a %d-byte bomb allocated %d bytes", name, len(data), grew)
+		}
 	}
 }

@@ -1,0 +1,88 @@
+package perf
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets: bucket i
+// counts observations with i significant bits of nanoseconds, i.e. in
+// [2^(i-1), 2^i). 40 buckets reach ~9 minutes, far past any request
+// deadline the server allows.
+const histBuckets = 40
+
+// Histogram is a lock-free latency histogram with power-of-two buckets.
+// Observe may be called from any number of goroutines; Snapshot is
+// likewise safe and returns a consistent-enough view for monitoring
+// (bucket totals are read without a global lock, so a snapshot taken
+// mid-Observe can be off by the in-flight observation).
+type Histogram struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	b := bits.Len64(uint64(ns))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram, shaped for
+// JSON stats endpoints. Quantiles are upper bounds of the power-of-two
+// bucket containing the quantile, so they overestimate by at most 2×.
+type HistogramSnapshot struct {
+	Count  int64 `json:"count"`
+	MeanNS int64 `json:"mean_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P90NS  int64 `json:"p90_ns"`
+	P99NS  int64 `json:"p99_ns"`
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{Count: h.count.Load()}
+	if total == 0 {
+		return s
+	}
+	s.MeanNS = h.sumNS.Load() / total
+	s.P50NS = quantile(counts[:], total, 0.50)
+	s.P90NS = quantile(counts[:], total, 0.90)
+	s.P99NS = quantile(counts[:], total, 0.99)
+	return s
+}
+
+// quantile returns the upper bound of the bucket holding the q-quantile.
+func quantile(counts []int64, total int64, q float64) int64 {
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	cum := int64(0)
+	for i, c := range counts {
+		cum += c
+		if cum > rank {
+			if i == 0 {
+				return 0
+			}
+			return 1 << uint(i)
+		}
+	}
+	return 1 << (histBuckets - 1)
+}

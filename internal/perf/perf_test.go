@@ -2,6 +2,7 @@ package perf
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -56,5 +57,51 @@ func TestRatio(t *testing.T) {
 func TestMs(t *testing.T) {
 	if got := Ms(1500 * time.Microsecond); !strings.HasPrefix(got, "1.5") || !strings.HasSuffix(got, "ms") {
 		t.Errorf("Ms = %q", got)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.P99NS != 0 {
+		t.Fatalf("empty histogram snapshot = %+v", s)
+	}
+	// 90 fast observations and 10 slow ones: the median must summarize a
+	// fast bucket and the p99 a slow one, each within its 2× bucket bound.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Nanosecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50NS < 100 || s.P50NS > 256 {
+		t.Fatalf("p50 = %dns, want within [100,256]", s.P50NS)
+	}
+	if s.P99NS < 1_000_000 || s.P99NS > 2_097_152 {
+		t.Fatalf("p99 = %dns, want within [1e6, 2^21]", s.P99NS)
+	}
+	if s.MeanNS < 100 || s.MeanNS > 1_000_000 {
+		t.Fatalf("mean = %dns", s.MeanNS)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(w*i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("count = %d after concurrent observes", s.Count)
 	}
 }

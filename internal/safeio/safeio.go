@@ -1,0 +1,27 @@
+// Package safeio bounds decoder allocations when reading untrusted
+// persistent files. Every on-disk format in this module (Pestrie .pes,
+// BitP, matrix .ptm) starts with header counts that size the structures a
+// decoder builds; trusting those counts lets a ~20-byte file claim 2³⁰
+// entries and force a multi-gigabyte allocation before the first entry is
+// even read. Decoders instead preallocate at most MaxPrealloc entries and
+// grow as entries actually arrive, so memory stays proportional to the
+// real input and a truncated bomb file fails with a short read after a
+// few kilobytes.
+package safeio
+
+// MaxPrealloc is the largest number of entries a decoder may allocate up
+// front on the strength of an untrusted header count alone.
+const MaxPrealloc = 1 << 16
+
+// Cap clamps an untrusted entry count to the preallocation bound. Use the
+// result as slice capacity and append while decoding; counts above the
+// bound are still decoded in full, they just grow the slice on demand.
+func Cap(n int) int {
+	if n < 0 {
+		return 0
+	}
+	if n > MaxPrealloc {
+		return MaxPrealloc
+	}
+	return n
+}

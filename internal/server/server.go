@@ -1,0 +1,460 @@
+// Package server exposes loaded Pestrie indexes as a concurrent query
+// service over HTTP/JSON — the pay-once persistence story of the paper
+// taken to its conclusion: one process decodes a .pes file and any number
+// of downstream clients query it without re-running the pointer analysis.
+//
+// Endpoints:
+//
+//	POST /query        one Table-1 query  {"backend","op","p","q","o"}
+//	POST /batch        many queries       {"backend","queries":[...]}, answered by a worker pool
+//	GET  /backends     loaded indexes and their dimensions
+//	GET  /debug/stats  per-backend/per-op counters and latency histograms
+//	GET  /healthz      liveness probe
+//
+// Answers are produced by calling the underlying *core.Index directly and
+// marshaling its return value verbatim, so a server response is
+// byte-identical to what an in-process caller would encode. The Index is
+// immutable after Load, which is what makes the whole service a pile of
+// lock-free concurrent readers (pinned by the package's -race tests).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pestrie/internal/core"
+	"pestrie/internal/perf"
+)
+
+// Ops in canonical order, matching the cmd/pestrie query -op names.
+var Ops = []string{"isalias", "aliases", "pointsto", "pointedby"}
+
+// Options configure a Server.
+type Options struct {
+	// RequestTimeout bounds the handling of a single request, batches
+	// included. Zero selects 10s.
+	RequestTimeout time.Duration
+
+	// BatchWorkers is the worker-pool size answering each batch request.
+	// Zero selects GOMAXPROCS.
+	BatchWorkers int
+
+	// MaxBatch caps the queries accepted in one batch request. Zero
+	// selects 65536.
+	MaxBatch int
+}
+
+func (o Options) withDefaults() Options {
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	if o.BatchWorkers <= 0 {
+		o.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1 << 16
+	}
+	return o
+}
+
+// Server answers pointer queries over one or more named indexes.
+type Server struct {
+	opts  Options
+	start time.Time
+
+	mu       sync.RWMutex // guards backends registration; reads on hot path
+	backends map[string]*backend
+
+	httpMu sync.Mutex
+	httpS  *http.Server
+}
+
+type backend struct {
+	name string
+	ix   *core.Index
+	// stats has one entry per op plus "batch"; fixed at registration so
+	// the hot path is atomics only.
+	stats map[string]*opStats
+}
+
+type opStats struct {
+	count  atomic.Int64
+	errors atomic.Int64
+	lat    perf.Histogram
+}
+
+// New returns an empty Server; register indexes with AddIndex.
+func New(opts Options) *Server {
+	return &Server{
+		opts:     opts.withDefaults(),
+		start:    time.Now(),
+		backends: make(map[string]*backend),
+	}
+}
+
+// AddIndex registers a loaded index under name. Registration is expected
+// before serving; duplicate or empty names are errors.
+func (s *Server) AddIndex(name string, ix *core.Index) error {
+	if name == "" {
+		return errors.New("server: empty backend name")
+	}
+	if ix == nil {
+		return errors.New("server: nil index")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.backends[name]; dup {
+		return fmt.Errorf("server: duplicate backend %q", name)
+	}
+	b := &backend{name: name, ix: ix, stats: make(map[string]*opStats)}
+	for _, op := range append(append([]string(nil), Ops...), "batch") {
+		b.stats[op] = &opStats{}
+	}
+	s.backends[name] = b
+	return nil
+}
+
+// resolve maps a request's backend name to a registered index. The empty
+// name is allowed when exactly one backend is loaded.
+func (s *Server) resolve(name string) (*backend, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" {
+		if len(s.backends) == 1 {
+			for _, b := range s.backends {
+				return b, nil
+			}
+		}
+		return nil, fmt.Errorf("server: %d backends loaded, request must name one", len(s.backends))
+	}
+	b, ok := s.backends[name]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown backend %q", name)
+	}
+	return b, nil
+}
+
+// Query is one Table-1 query. ID fields are pointers so "absent" and "0"
+// stay distinguishable during validation.
+type Query struct {
+	Op string `json:"op"`
+	P  *int   `json:"p,omitempty"`
+	Q  *int   `json:"q,omitempty"`
+	O  *int   `json:"o,omitempty"`
+}
+
+// Result is the answer to one Query. For list ops, IDs holds the JSON
+// encoding of the exact []int the Index returned — the byte-identical
+// contract. Err is set instead when the query is malformed.
+type Result struct {
+	Alias *bool           `json:"alias,omitempty"`
+	IDs   json.RawMessage `json:"ids,omitempty"`
+	Err   string          `json:"error,omitempty"`
+}
+
+// exec answers one query against a backend, recording stats.
+func (b *backend) exec(q Query) Result {
+	st, ok := b.stats[q.Op]
+	if !ok {
+		return Result{Err: fmt.Sprintf("unknown op %q", q.Op)}
+	}
+	need := func(name string, v *int, n int) (int, error) {
+		if v == nil {
+			return 0, fmt.Errorf("%s needs %q", q.Op, name)
+		}
+		if *v < 0 || *v >= n {
+			return 0, fmt.Errorf("%s %d out of range [0,%d)", name, *v, n)
+		}
+		return *v, nil
+	}
+	start := time.Now()
+	var res Result
+	var err error
+	switch q.Op {
+	case "isalias":
+		var p, qq int
+		if p, err = need("p", q.P, b.ix.NumPointers); err == nil {
+			if qq, err = need("q", q.Q, b.ix.NumPointers); err == nil {
+				alias := b.ix.IsAlias(p, qq)
+				res.Alias = &alias
+			}
+		}
+	case "aliases":
+		var p int
+		if p, err = need("p", q.P, b.ix.NumPointers); err == nil {
+			res.IDs, err = marshalIDs(b.ix.ListAliases(p))
+		}
+	case "pointsto":
+		var p int
+		if p, err = need("p", q.P, b.ix.NumPointers); err == nil {
+			res.IDs, err = marshalIDs(b.ix.ListPointsTo(p))
+		}
+	case "pointedby":
+		var o int
+		if o, err = need("o", q.O, b.ix.NumObjects); err == nil {
+			res.IDs, err = marshalIDs(b.ix.ListPointedBy(o))
+		}
+	}
+	if err != nil {
+		st.errors.Add(1)
+		return Result{Err: err.Error()}
+	}
+	st.count.Add(1)
+	st.lat.Observe(time.Since(start))
+	return res
+}
+
+// marshalIDs encodes the index's return value verbatim: nil stays null,
+// empty stays [], order is untouched.
+func marshalIDs(ids []int) (json.RawMessage, error) {
+	raw, err := json.Marshal(ids)
+	if err != nil {
+		return nil, err
+	}
+	return json.RawMessage(raw), nil
+}
+
+// runBatch answers queries with the worker pool, preserving order.
+// It stops early when ctx is done and reports what was left unanswered.
+func (s *Server) runBatch(ctx context.Context, b *backend, queries []Query) ([]Result, error) {
+	results := make([]Result, len(queries))
+	workers := s.opts.BatchWorkers
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = b.exec(queries[i])
+			}
+		}()
+	}
+	var err error
+feed:
+	for i := range queries {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			err = fmt.Errorf("server: batch timed out after %d/%d queries: %w",
+				i, len(queries), ctx.Err())
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	return results, err
+}
+
+// Handler returns the HTTP handler for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("GET /backends", s.handleBackends)
+	mux.HandleFunc("GET /debug/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		defer cancel()
+		mux.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+type queryRequest struct {
+	Backend string `json:"backend"`
+	Query
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	b, err := s.resolve(req.Backend)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	res := b.exec(req.Query)
+	if res.Err != "" {
+		writeJSON(w, http.StatusBadRequest, res)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+type batchRequest struct {
+	Backend string  `json:"backend"`
+	Queries []Query `json:"queries"`
+}
+
+// BatchResponse is the reply to POST /batch.
+type BatchResponse struct {
+	Results []Result `json:"results"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Queries) > s.opts.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("server: batch of %d exceeds limit %d", len(req.Queries), s.opts.MaxBatch))
+		return
+	}
+	b, err := s.resolve(req.Backend)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	start := time.Now()
+	results, err := s.runBatch(r.Context(), b, req.Queries)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	st := b.stats["batch"]
+	st.count.Add(1)
+	st.lat.Observe(time.Since(start))
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+// BackendInfo describes one loaded index.
+type BackendInfo struct {
+	Name       string `json:"name"`
+	Pointers   int    `json:"pointers"`
+	Objects    int    `json:"objects"`
+	Groups     int    `json:"groups"`
+	Rectangles int    `json:"rectangles"`
+}
+
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]BackendInfo{"backends": s.Backends()})
+}
+
+// Backends lists the loaded indexes sorted by name.
+func (s *Server) Backends() []BackendInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]BackendInfo, 0, len(s.backends))
+	for _, b := range s.backends {
+		out = append(out, BackendInfo{
+			Name:       b.name,
+			Pointers:   b.ix.NumPointers,
+			Objects:    b.ix.NumObjects,
+			Groups:     b.ix.NumGroups,
+			Rectangles: b.ix.Rectangles(),
+		})
+	}
+	sortBackends(out)
+	return out
+}
+
+func sortBackends(bs []BackendInfo) {
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && bs[j].Name < bs[j-1].Name; j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+}
+
+// OpStats is the monitoring snapshot for one (backend, op) pair.
+type OpStats struct {
+	Count   int64                  `json:"count"`
+	Errors  int64                  `json:"errors"`
+	Latency perf.HistogramSnapshot `json:"latency"`
+}
+
+// Stats is the /debug/stats payload.
+type Stats struct {
+	UptimeMS int64                         `json:"uptime_ms"`
+	Backends map[string]map[string]OpStats `json:"backends"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats snapshots every counter and histogram.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := Stats{
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Backends: make(map[string]map[string]OpStats, len(s.backends)),
+	}
+	for name, b := range s.backends {
+		ops := make(map[string]OpStats, len(b.stats))
+		for op, st := range b.stats {
+			ops[op] = OpStats{
+				Count:   st.count.Load(),
+				Errors:  st.errors.Load(),
+				Latency: st.lat.Snapshot(),
+			}
+		}
+		out.Backends[name] = ops
+	}
+	return out
+}
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) Serve(l net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	s.httpMu.Lock()
+	s.httpS = hs
+	s.httpMu.Unlock()
+	return hs.Serve(l)
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown gracefully stops the server: the listener closes immediately,
+// in-flight requests get until ctx expires to finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.httpMu.Lock()
+	hs := s.httpS
+	s.httpMu.Unlock()
+	if hs == nil {
+		return nil
+	}
+	return hs.Shutdown(ctx)
+}

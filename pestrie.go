@@ -35,6 +35,7 @@ import (
 	"pestrie/internal/flow"
 	"pestrie/internal/ir"
 	"pestrie/internal/matrix"
+	"pestrie/internal/server"
 	"pestrie/internal/synth"
 )
 
@@ -242,6 +243,23 @@ var (
 	_ ClientQueries = (*Index)(nil)
 	_ ClientQueries = (*DemandOracle)(nil)
 )
+
+// --- query service (cmd/pestrie serve) ---------------------------------
+
+// QueryServer serves one or more loaded indexes as a concurrent HTTP/JSON
+// query service: the four Table-1 queries plus a batch endpoint answered
+// by a worker pool, with per-backend counters and latency histograms at
+// /debug/stats. Served answers are byte-identical to direct Index calls.
+type QueryServer = server.Server
+
+// QueryServerOptions tune request timeouts, the batch worker pool, and
+// the batch size limit; the zero value selects sensible defaults.
+type QueryServerOptions = server.Options
+
+// NewQueryServer returns an empty query server; register decoded indexes
+// with AddIndex, then Serve or ListenAndServe. Shutdown stops it
+// gracefully.
+func NewQueryServer(opts QueryServerOptions) *QueryServer { return server.New(opts) }
 
 // --- workloads ---------------------------------------------------------
 

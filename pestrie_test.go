@@ -2,6 +2,9 @@ package pestrie
 
 import (
 	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sort"
@@ -137,5 +140,36 @@ func TestBenchmarksFacade(t *testing.T) {
 	c := Characterize(pm, 0)
 	if c.Pointers != pm.NumPointers {
 		t.Fatal("Characterize facade broken")
+	}
+}
+
+func TestQueryServerFacade(t *testing.T) {
+	pm := NewMatrix(6, 3)
+	for _, f := range [][2]int{{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}} {
+		pm.Add(f[0], f[1])
+	}
+	var buf bytes.Buffer
+	if _, err := Build(pm, nil).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewQueryServer(QueryServerOptions{})
+	if err := s.AddIndex("default", idx); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/query", "application/json",
+		strings.NewReader(`{"op":"isalias","p":0,"q":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "true") {
+		t.Fatalf("isalias(0,1) over HTTP: %s", body)
 	}
 }
