@@ -9,11 +9,18 @@
 //	pestrie query -in pm.pes -op aliases|pointsto -p 3
 //	pestrie query -in pm.pes -op pointedby -o 5
 //	pestrie serve -in pm.pes[,name=other.pes...] -addr :7171
+//	pestrie serve -store-dir ./pes -mem-budget 64MiB -reload-interval 30s
 //	pestrie bench-serve -addr http://host:7171 -in pm.pes -n 200
 //
 // serve answers the four Table-1 queries plus batches over HTTP/JSON (see
 // internal/server); bench-serve replays a §7.1.1 base-pointer query mix
 // against a running server and reports throughput and latency.
+//
+// With -store-dir, -mem-budget, or -reload-interval, serve routes backends
+// through the managed index store (see internal/store): .pes files decode
+// lazily on first query, cold indexes are evicted to stay under the memory
+// budget, and rewritten files are hot-swapped in without a restart.
+// -pprof mounts net/http/pprof for profiling the eviction hot path.
 //
 // Matrix files (.ptm) are produced by cmd/ptagen.
 package main
@@ -35,8 +42,17 @@ import (
 	"pestrie/internal/core"
 	"pestrie/internal/perf"
 	"pestrie/internal/server"
+	"pestrie/internal/store"
 	"pestrie/internal/synth"
 )
+
+// budgetString renders a store budget for the startup banner.
+func budgetString(n int64) string {
+	if n <= 0 {
+		return "unlimited"
+	}
+	return perf.Bytes(n)
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -70,13 +86,13 @@ func usage() {
 	os.Exit(2)
 }
 
-// newQueryServer builds a server from the -in specification: a
-// comma-separated list of [name=]path.pes entries. An unnamed entry takes
-// its file stem as backend name; a single unnamed entry is also reachable
-// as "default" (the implicit backend of one-index deployments).
-func newQueryServer(spec string, opts server.Options) (*server.Server, error) {
+// parseInSpec parses the -in specification: a comma-separated list of
+// [name=]path.pes entries. An unnamed entry takes its file stem as backend
+// name; a single unnamed entry is also reachable as "default" (the
+// implicit backend of one-index deployments).
+func parseInSpec(spec string) ([]store.Spec, error) {
 	entries := strings.Split(spec, ",")
-	s := server.New(opts)
+	out := make([]store.Spec, 0, len(entries))
 	for _, e := range entries {
 		name, path := "", e
 		if i := strings.IndexByte(e, '='); i >= 0 {
@@ -91,15 +107,60 @@ func newQueryServer(spec string, opts server.Options) (*server.Server, error) {
 				name = "default"
 			}
 		}
-		idx, err := pestrie.LoadFile(path)
+		out = append(out, store.Spec{Name: name, Path: path})
+	}
+	return out, nil
+}
+
+// newQueryServer builds an eager server from the -in specification: every
+// entry is decoded at startup and held resident. Load and registration
+// failures name the offending entry, so a broken path in a multi-backend
+// spec is attributable.
+func newQueryServer(spec string, opts server.Options) (*server.Server, error) {
+	specs, err := parseInSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	s := server.New(opts)
+	for _, sp := range specs {
+		idx, err := pestrie.LoadFile(sp.Path)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("serve: -in entry %s=%s: %w", sp.Name, sp.Path, err)
 		}
-		if err := s.AddIndex(name, idx); err != nil {
-			return nil, err
+		if err := s.AddIndex(sp.Name, idx); err != nil {
+			return nil, fmt.Errorf("serve: -in entry %s=%s: %w", sp.Name, sp.Path, err)
 		}
 	}
 	return s, nil
+}
+
+// newStoreServer builds a store-backed server: -in entries and -store-dir
+// files are catalogued but not decoded; the store loads them lazily on
+// first query, evicts under memBudget, and hot-swaps rewritten files every
+// reload interval.
+func newStoreServer(spec, dir string, opts server.Options, sopts store.Options) (*server.Server, *store.Store, error) {
+	st := store.New(sopts)
+	if spec != "" {
+		specs, err := parseInSpec(spec)
+		if err != nil {
+			st.Close()
+			return nil, nil, err
+		}
+		for _, sp := range specs {
+			if err := st.Add(sp.Name, sp.Path); err != nil {
+				st.Close()
+				return nil, nil, fmt.Errorf("serve: -in entry %s=%s: %w", sp.Name, sp.Path, err)
+			}
+		}
+	}
+	if dir != "" {
+		if _, err := st.AddDir(dir); err != nil {
+			st.Close()
+			return nil, nil, err
+		}
+	}
+	opts.Store = st
+	return server.New(opts), st, nil
 }
 
 func serve(args []string) error {
@@ -109,21 +170,56 @@ func serve(args []string) error {
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
 	workers := fs.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
 	maxBatch := fs.Int("max-batch", 0, "max queries per batch request (0 = 65536)")
+	storeDir := fs.String("store-dir", "", "directory of .pes files served lazily through the index store")
+	memBudget := fs.String("mem-budget", "", "decoded-index memory budget for the store, e.g. 64MiB (empty = unlimited)")
+	reload := fs.Duration("reload-interval", 0, "checksum poll period for hot-swapping rewritten files (0 = off)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	fs.Parse(args)
-	if *in == "" {
-		return fmt.Errorf("serve needs -in")
+	useStore := *storeDir != "" || *memBudget != "" || *reload > 0
+	if *in == "" && !useStore {
+		return fmt.Errorf("serve needs -in or -store-dir")
 	}
-	s, err := newQueryServer(*in, server.Options{
+	opts := server.Options{
 		RequestTimeout: *timeout,
 		BatchWorkers:   *workers,
 		MaxBatch:       *maxBatch,
-	})
-	if err != nil {
-		return err
+		EnablePprof:    *pprofOn,
 	}
-	for _, b := range s.Backends() {
-		fmt.Printf("backend %s: %d pointers, %d objects, %d groups, %d rectangles\n",
-			b.Name, b.Pointers, b.Objects, b.Groups, b.Rectangles)
+	var s *server.Server
+	if useStore {
+		var budget int64
+		if *memBudget != "" {
+			var err error
+			if budget, err = store.ParseBytes(*memBudget); err != nil {
+				return err
+			}
+		}
+		var st *store.Store
+		var err error
+		s, st, err = newStoreServer(*in, *storeDir, opts, store.Options{
+			MemBudget:      budget,
+			ReloadInterval: *reload,
+		})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		names := st.Names()
+		fmt.Printf("store: %d catalogued backends (budget %s, reload %s): %s\n",
+			len(names), budgetString(budget), *reload, strings.Join(names, " "))
+	} else {
+		var err error
+		s, err = newQueryServer(*in, opts)
+		if err != nil {
+			return err
+		}
+		for _, b := range s.Backends() {
+			fmt.Printf("backend %s: %d pointers, %d objects, %d groups, %d rectangles\n",
+				b.Name, b.Pointers, b.Objects, b.Groups, b.Rectangles)
+		}
+	}
+	if *pprofOn {
+		fmt.Println("pprof mounted at /debug/pprof/")
 	}
 	fmt.Printf("serving on %s (timeout %s)\n", *addr, *timeout)
 

@@ -11,6 +11,7 @@ import (
 
 	"pestrie"
 	"pestrie/internal/server"
+	"pestrie/internal/store"
 )
 
 func writeTestMatrix(t *testing.T, dir string) string {
@@ -262,6 +263,88 @@ func TestServeMultipleNamedBackends(t *testing.T) {
 	}
 	if len(names) != 2 || names[0] != "app" || names[1] != "lib" {
 		t.Fatalf("backends = %v, want [app lib]", names)
+	}
+}
+
+// TestServeSpecErrorNamesEntry pins the error contract of multi-backend
+// -in specs: a failing entry must be identified as name=path in the error,
+// not reported bare.
+func TestServeSpecErrorNamesEntry(t *testing.T) {
+	dir := t.TempDir()
+	ptm := writeTestMatrix(t, dir)
+	good := filepath.Join(dir, "good.pes")
+	if err := encode([]string{"-in", ptm, "-out", good}); err != nil {
+		t.Fatal(err)
+	}
+	missing := filepath.Join(dir, "missing.pes")
+	_, err := newQueryServer("lib="+good+",app="+missing, server.Options{})
+	if err == nil {
+		t.Fatal("spec with missing file accepted")
+	}
+	if !strings.Contains(err.Error(), "app="+missing) {
+		t.Fatalf("error %q does not name the offending entry app=%s", err, missing)
+	}
+	// Duplicate names are attributed the same way.
+	_, err = newQueryServer("x="+good+",x="+good, server.Options{})
+	if err == nil || !strings.Contains(err.Error(), "x="+good) {
+		t.Fatalf("duplicate-name error %q does not name the entry", err)
+	}
+}
+
+// TestStoreServe builds the store-backed serve configuration against a
+// directory of .pes files and issues one query per backend plus the
+// store debug endpoint — the CLI face of internal/store.
+func TestStoreServe(t *testing.T) {
+	dir := t.TempDir()
+	ptm := writeTestMatrix(t, dir)
+	pesDir := filepath.Join(dir, "pes")
+	if err := os.Mkdir(pesDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"lib", "app"} {
+		if err := encode([]string{"-in", ptm, "-out", filepath.Join(pesDir, name+".pes")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, st, err := newStoreServer("", pesDir, server.Options{}, store.Options{MemBudget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	names := st.Names()
+	if len(names) != 2 || names[0] != "app" || names[1] != "lib" {
+		t.Fatalf("catalog = %v, want [app lib]", names)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, name := range names {
+		resp, err := http.Post(ts.URL+"/query", "application/json",
+			strings.NewReader(`{"backend":"`+name+`","op":"isalias","p":0,"q":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "alias") {
+			t.Fatalf("query %s: status %d body %s", name, resp.StatusCode, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/debug/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"loaded":true`) {
+		t.Fatalf("/debug/store: status %d body %s", resp.StatusCode, body)
+	}
+
+	// -in specs also feed the store catalog, with the same entry-naming
+	// error contract as the eager path.
+	_, _, err = newStoreServer("x=nope,x=nope", "", server.Options{}, store.Options{})
+	if err == nil || !strings.Contains(err.Error(), "x=nope") {
+		t.Fatalf("store spec error %q does not name the entry", err)
 	}
 }
 

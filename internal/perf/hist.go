@@ -20,6 +20,7 @@ const histBuckets = 40
 type Histogram struct {
 	count   atomic.Int64
 	sumNS   atomic.Int64
+	maxNS   atomic.Int64
 	buckets [histBuckets]atomic.Int64
 }
 
@@ -31,6 +32,12 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 	h.count.Add(1)
 	h.sumNS.Add(ns)
+	for {
+		cur := h.maxNS.Load()
+		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
 	b := bits.Len64(uint64(ns))
 	if b >= histBuckets {
 		b = histBuckets - 1
@@ -40,10 +47,12 @@ func (h *Histogram) Observe(d time.Duration) {
 
 // HistogramSnapshot is a point-in-time summary of a Histogram, shaped for
 // JSON stats endpoints. Quantiles are upper bounds of the power-of-two
-// bucket containing the quantile, so they overestimate by at most 2×.
+// bucket containing the quantile, so they overestimate by at most 2×;
+// MaxNS is exact (the slowest single observation, e.g. a cold decode).
 type HistogramSnapshot struct {
 	Count  int64 `json:"count"`
 	MeanNS int64 `json:"mean_ns"`
+	MaxNS  int64 `json:"max_ns"`
 	P50NS  int64 `json:"p50_ns"`
 	P90NS  int64 `json:"p90_ns"`
 	P99NS  int64 `json:"p99_ns"`
@@ -62,6 +71,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		return s
 	}
 	s.MeanNS = h.sumNS.Load() / total
+	s.MaxNS = h.maxNS.Load()
 	s.P50NS = quantile(counts[:], total, 0.50)
 	s.P90NS = quantile(counts[:], total, 0.90)
 	s.P99NS = quantile(counts[:], total, 0.99)

@@ -86,6 +86,9 @@ func TestHistogramSnapshot(t *testing.T) {
 	if s.MeanNS < 100 || s.MeanNS > 1_000_000 {
 		t.Fatalf("mean = %dns", s.MeanNS)
 	}
+	if s.MaxNS != 1_000_000 {
+		t.Fatalf("max = %dns, want exactly 1e6", s.MaxNS)
+	}
 }
 
 func TestHistogramConcurrent(t *testing.T) {

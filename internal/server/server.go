@@ -7,9 +7,17 @@
 //
 //	POST /query        one Table-1 query  {"backend","op","p","q","o"}
 //	POST /batch        many queries       {"backend","queries":[...]}, answered by a worker pool
-//	GET  /backends     loaded indexes and their dimensions
+//	GET  /backends     catalogued indexes and their dimensions
 //	GET  /debug/stats  per-backend/per-op counters and latency histograms
+//	GET  /debug/store  store lifecycle state (budget, evictions, generations)
 //	GET  /healthz      liveness probe
+//
+// Backends come from two places: indexes registered eagerly with AddIndex
+// (decoded once, resident forever), and — when Options.Store is set — a
+// managed internal/store catalog, where indexes decode lazily on first
+// query and live in a memory-budgeted LRU. A store-backed request pins its
+// generation for the request's whole duration, so eviction and hot-swap
+// never free or tear an index mid-query.
 //
 // Answers are produced by calling the underlying *core.Index directly and
 // marshaling its return value verbatim, so a server response is
@@ -25,13 +33,16 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pestrie/internal/core"
 	"pestrie/internal/perf"
+	"pestrie/internal/store"
 )
 
 // Ops in canonical order, matching the cmd/pestrie query -op names.
@@ -50,6 +61,15 @@ type Options struct {
 	// MaxBatch caps the queries accepted in one batch request. Zero
 	// selects 65536.
 	MaxBatch int
+
+	// Store, when non-nil, resolves backends not registered with
+	// AddIndex through a managed index store: lazy decode on first
+	// query, LRU eviction under a memory budget, checksum hot-swap.
+	Store *store.Store
+
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
+	// default). Profile collection runs outside the request timeout.
+	EnablePprof bool
 }
 
 func (o Options) withDefaults() Options {
@@ -79,10 +99,18 @@ type Server struct {
 
 type backend struct {
 	name string
-	ix   *core.Index
+	ix   *core.Index // static index; nil for store-resolved backends
 	// stats has one entry per op plus "batch"; fixed at registration so
 	// the hot path is atomics only.
 	stats map[string]*opStats
+}
+
+func newBackend(name string, ix *core.Index) *backend {
+	b := &backend{name: name, ix: ix, stats: make(map[string]*opStats)}
+	for _, op := range append(append([]string(nil), Ops...), "batch") {
+		b.stats[op] = &opStats{}
+	}
+	return b
 }
 
 type opStats struct {
@@ -111,35 +139,87 @@ func (s *Server) AddIndex(name string, ix *core.Index) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.backends[name]; dup {
+	if b, dup := s.backends[name]; dup && b.ix != nil {
 		return fmt.Errorf("server: duplicate backend %q", name)
+	} else if dup {
+		// A stats-only shell created for a store backend of the same
+		// name: adopt it so its counters survive, static index wins.
+		b.ix = ix
+		return nil
 	}
-	b := &backend{name: name, ix: ix, stats: make(map[string]*opStats)}
-	for _, op := range append(append([]string(nil), Ops...), "batch") {
-		b.stats[op] = &opStats{}
-	}
-	s.backends[name] = b
+	s.backends[name] = newBackend(name, ix)
 	return nil
 }
 
-// resolve maps a request's backend name to a registered index. The empty
-// name is allowed when exactly one backend is loaded.
-func (s *Server) resolve(name string) (*backend, error) {
+// names lists every resolvable backend name: static indexes plus the
+// store catalog.
+func (s *Server) names() []string {
+	set := map[string]bool{}
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if name == "" {
-		if len(s.backends) == 1 {
-			for _, b := range s.backends {
-				return b, nil
-			}
+	for name, b := range s.backends {
+		if b.ix != nil {
+			set[name] = true
 		}
-		return nil, fmt.Errorf("server: %d backends loaded, request must name one", len(s.backends))
 	}
+	s.mu.RUnlock()
+	if s.opts.Store != nil {
+		for _, name := range s.opts.Store.Names() {
+			set[name] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	return out
+}
+
+// statsFor returns the stats holder for name, creating a shell for
+// store-resolved backends on first touch.
+func (s *Server) statsFor(name string) *backend {
+	s.mu.RLock()
 	b, ok := s.backends[name]
-	if !ok {
-		return nil, fmt.Errorf("server: unknown backend %q", name)
+	s.mu.RUnlock()
+	if ok {
+		return b
 	}
-	return b, nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.backends[name]; ok {
+		return b
+	}
+	b = newBackend(name, nil)
+	s.backends[name] = b
+	return b
+}
+
+// resolve maps a request's backend name to an index ready to query. The
+// empty name is allowed when exactly one backend is resolvable. For
+// store-resolved backends the returned release func unpins the decoded
+// generation and must be called when the request is done; it is nil for
+// static backends.
+func (s *Server) resolve(ctx context.Context, name string) (*backend, *core.Index, func(), error) {
+	if name == "" {
+		names := s.names()
+		if len(names) != 1 {
+			return nil, nil, nil, fmt.Errorf("server: %d backends loaded, request must name one", len(names))
+		}
+		name = names[0]
+	}
+	s.mu.RLock()
+	b, ok := s.backends[name]
+	s.mu.RUnlock()
+	if ok && b.ix != nil {
+		return b, b.ix, nil, nil
+	}
+	if s.opts.Store == nil {
+		return nil, nil, nil, fmt.Errorf("server: unknown backend %q", name)
+	}
+	h, err := s.opts.Store.Acquire(ctx, name)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return s.statsFor(name), h.Index(), h.Release, nil
 }
 
 // Query is one Table-1 query. ID fields are pointers so "absent" and "0"
@@ -160,8 +240,10 @@ type Result struct {
 	Err   string          `json:"error,omitempty"`
 }
 
-// exec answers one query against a backend, recording stats.
-func (b *backend) exec(q Query) Result {
+// exec answers one query against an index, recording stats on b. The
+// index is passed in (rather than read from b) because store-resolved
+// backends pin a possibly different generation per request.
+func (b *backend) exec(ix *core.Index, q Query) Result {
 	st, ok := b.stats[q.Op]
 	if !ok {
 		return Result{Err: fmt.Sprintf("unknown op %q", q.Op)}
@@ -181,26 +263,26 @@ func (b *backend) exec(q Query) Result {
 	switch q.Op {
 	case "isalias":
 		var p, qq int
-		if p, err = need("p", q.P, b.ix.NumPointers); err == nil {
-			if qq, err = need("q", q.Q, b.ix.NumPointers); err == nil {
-				alias := b.ix.IsAlias(p, qq)
+		if p, err = need("p", q.P, ix.NumPointers); err == nil {
+			if qq, err = need("q", q.Q, ix.NumPointers); err == nil {
+				alias := ix.IsAlias(p, qq)
 				res.Alias = &alias
 			}
 		}
 	case "aliases":
 		var p int
-		if p, err = need("p", q.P, b.ix.NumPointers); err == nil {
-			res.IDs, err = marshalIDs(b.ix.ListAliases(p))
+		if p, err = need("p", q.P, ix.NumPointers); err == nil {
+			res.IDs, err = marshalIDs(ix.ListAliases(p))
 		}
 	case "pointsto":
 		var p int
-		if p, err = need("p", q.P, b.ix.NumPointers); err == nil {
-			res.IDs, err = marshalIDs(b.ix.ListPointsTo(p))
+		if p, err = need("p", q.P, ix.NumPointers); err == nil {
+			res.IDs, err = marshalIDs(ix.ListPointsTo(p))
 		}
 	case "pointedby":
 		var o int
-		if o, err = need("o", q.O, b.ix.NumObjects); err == nil {
-			res.IDs, err = marshalIDs(b.ix.ListPointedBy(o))
+		if o, err = need("o", q.O, ix.NumObjects); err == nil {
+			res.IDs, err = marshalIDs(ix.ListPointedBy(o))
 		}
 	}
 	if err != nil {
@@ -224,7 +306,7 @@ func marshalIDs(ids []int) (json.RawMessage, error) {
 
 // runBatch answers queries with the worker pool, preserving order.
 // It stops early when ctx is done and reports what was left unanswered.
-func (s *Server) runBatch(ctx context.Context, b *backend, queries []Query) ([]Result, error) {
+func (s *Server) runBatch(ctx context.Context, b *backend, ix *core.Index, queries []Query) ([]Result, error) {
 	results := make([]Result, len(queries))
 	workers := s.opts.BatchWorkers
 	if workers > len(queries) {
@@ -237,7 +319,7 @@ func (s *Server) runBatch(ctx context.Context, b *backend, queries []Query) ([]R
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = b.exec(queries[i])
+				results[i] = b.exec(ix, queries[i])
 			}
 		}()
 	}
@@ -264,10 +346,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("GET /backends", s.handleBackends)
 	mux.HandleFunc("GET /debug/stats", s.handleStats)
+	mux.HandleFunc("GET /debug/store", s.handleStore)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if s.opts.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Profile collection legitimately runs for ?seconds=30; exempt
+		// it from the query deadline.
+		if strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+			mux.ServeHTTP(w, r)
+			return
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 		defer cancel()
 		mux.ServeHTTP(w, r.WithContext(ctx))
@@ -296,17 +392,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	b, err := s.resolve(req.Backend)
+	b, ix, release, err := s.resolve(r.Context(), req.Backend)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, resolveStatus(err), err)
 		return
 	}
-	res := b.exec(req.Query)
+	if release != nil {
+		defer release()
+	}
+	res := b.exec(ix, req.Query)
 	if res.Err != "" {
 		writeJSON(w, http.StatusBadRequest, res)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// resolveStatus maps a resolve failure to its HTTP status: names that
+// aren't in the catalog are the client's fault (404), a catalogued file
+// that fails to decode is the server's (502).
+func resolveStatus(err error) int {
+	if errors.Is(err, store.ErrUnknown) || strings.Contains(err.Error(), "unknown backend") ||
+		strings.Contains(err.Error(), "request must name one") {
+		return http.StatusNotFound
+	}
+	return http.StatusBadGateway
 }
 
 type batchRequest struct {
@@ -330,13 +440,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("server: batch of %d exceeds limit %d", len(req.Queries), s.opts.MaxBatch))
 		return
 	}
-	b, err := s.resolve(req.Backend)
+	b, ix, release, err := s.resolve(r.Context(), req.Backend)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, resolveStatus(err), err)
 		return
 	}
+	if release != nil {
+		defer release()
+	}
 	start := time.Now()
-	results, err := s.runBatch(r.Context(), b, req.Queries)
+	results, err := s.runBatch(r.Context(), b, ix, req.Queries)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
@@ -347,9 +460,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
 }
 
-// BackendInfo describes one loaded index.
+// BackendInfo describes one catalogued index. Store-resolved backends
+// report Loaded=false (with zero or last-known dimensions) until their
+// first query decodes them; static indexes are always loaded.
 type BackendInfo struct {
 	Name       string `json:"name"`
+	Source     string `json:"source"` // "static" or "store"
+	Loaded     bool   `json:"loaded"`
 	Pointers   int    `json:"pointers"`
 	Objects    int    `json:"objects"`
 	Groups     int    `json:"groups"`
@@ -360,22 +477,58 @@ func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]BackendInfo{"backends": s.Backends()})
 }
 
-// Backends lists the loaded indexes sorted by name.
+// Backends lists the catalogued indexes sorted by name: static indexes
+// first-class, store entries described from the store's snapshot without
+// forcing any to load (that would defeat the budget).
 func (s *Server) Backends() []BackendInfo {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make([]BackendInfo, 0, len(s.backends))
+	seen := make(map[string]bool, len(s.backends))
 	for _, b := range s.backends {
+		if b.ix == nil {
+			continue // stats shell for a store backend; listed below
+		}
+		seen[b.name] = true
 		out = append(out, BackendInfo{
 			Name:       b.name,
+			Source:     "static",
+			Loaded:     true,
 			Pointers:   b.ix.NumPointers,
 			Objects:    b.ix.NumObjects,
 			Groups:     b.ix.NumGroups,
 			Rectangles: b.ix.Rectangles(),
 		})
 	}
+	s.mu.RUnlock()
+	if s.opts.Store != nil {
+		for _, e := range s.opts.Store.Snapshot().Backends {
+			if seen[e.Name] {
+				continue // a static index shadows the store entry
+			}
+			out = append(out, BackendInfo{
+				Name:       e.Name,
+				Source:     "store",
+				Loaded:     e.Loaded,
+				Pointers:   e.Pointers,
+				Objects:    e.Objects,
+				Groups:     e.Groups,
+				Rectangles: e.Rectangles,
+			})
+		}
+	}
 	sortBackends(out)
 	return out
+}
+
+// handleStore exposes the store's lifecycle state — per-entry
+// loaded/evicted status, generations, byte footprints, hit/miss/load/evict
+// counters, and load-latency histograms.
+func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Store == nil {
+		writeError(w, http.StatusNotFound, errors.New("server: no store configured"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.opts.Store.Snapshot())
 }
 
 func sortBackends(bs []BackendInfo) {

@@ -1,0 +1,279 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pestrie/internal/core"
+	"pestrie/internal/matrix"
+	"pestrie/internal/store"
+)
+
+// writeStorePes persists a matrix to dir/name.pes and returns the
+// reference index decoded directly from the same bytes.
+func writeStorePes(t *testing.T, dir, name string, pm *matrix.PointsTo) *core.Index {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := core.Build(pm, nil).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".pes"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// TestStoreBackedServer drives the acceptance scenario: a server whose
+// store budget is smaller than the sum of all index footprints must answer
+// queries for every catalogued backend (evicting and reloading as needed)
+// byte-identically to direct core.Index calls, and /debug/store must
+// expose the churn.
+func TestStoreBackedServer(t *testing.T) {
+	dir := t.TempDir()
+	names := []string{"alpha", "beta", "gamma"}
+	refs := map[string]*core.Index{}
+	var foot int64
+	for i, name := range names {
+		refs[name] = writeStorePes(t, dir, name, testPM(int64(40+i), 100, 25, 550))
+		foot = refs[name].MemoryFootprint()
+	}
+
+	st := store.New(store.Options{MemBudget: foot + foot/2})
+	defer st.Close()
+	if _, err := st.AddDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Store: st})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for round := 0; round < 3; round++ {
+		for _, name := range names {
+			ref := refs[name]
+			for p := 0; p < ref.NumPointers; p += 11 {
+				resp, body := postJSON(t, ts.URL+"/query",
+					queryRequest{Backend: name, Query: Query{Op: "aliases", P: intp(p)}})
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("%s aliases(%d): status %d: %s", name, p, resp.StatusCode, body)
+				}
+				var res Result
+				if err := json.Unmarshal(body, &res); err != nil {
+					t.Fatal(err)
+				}
+				if string(res.IDs) != directIDs(t, ref.ListAliases(p)) {
+					t.Fatalf("%s aliases(%d): served %s, direct %s", name, p, res.IDs, directIDs(t, ref.ListAliases(p)))
+				}
+			}
+			// Batches pin one generation for their whole duration.
+			queries := []Query{
+				{Op: "pointsto", P: intp(1)},
+				{Op: "pointedby", O: intp(2)},
+				{Op: "isalias", P: intp(0), Q: intp(3)},
+			}
+			resp, body := postJSON(t, ts.URL+"/batch", batchRequest{Backend: name, Queries: queries})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s batch: status %d: %s", name, resp.StatusCode, body)
+			}
+			var br BatchResponse
+			if err := json.Unmarshal(body, &br); err != nil {
+				t.Fatal(err)
+			}
+			if string(br.Results[0].IDs) != directIDs(t, ref.ListPointsTo(1)) {
+				t.Fatalf("%s batch pointsto diverged", name)
+			}
+		}
+	}
+
+	// The budget forced churn, visible at /debug/store.
+	resp, err := http.Get(ts.URL + "/debug/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap store.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Entries != 3 || snap.Evictions == 0 || snap.Loads <= 3 {
+		t.Fatalf("store snapshot shows no churn: %+v", snap)
+	}
+	for _, e := range snap.Backends {
+		if e.Hits+e.Misses == 0 {
+			t.Fatalf("backend %s never queried: %+v", e.Name, e)
+		}
+	}
+
+	// Query stats accumulated on the dynamic backends too.
+	stats := s.Stats()
+	if stats.Backends["alpha"]["aliases"].Count == 0 {
+		t.Fatalf("no aliases stats for store backend: %+v", stats.Backends["alpha"])
+	}
+
+	// /backends lists every catalogued backend with its source.
+	bs := s.Backends()
+	if len(bs) != 3 {
+		t.Fatalf("backends = %+v", bs)
+	}
+	for _, b := range bs {
+		if b.Source != "store" {
+			t.Fatalf("backend %s source = %q, want store", b.Name, b.Source)
+		}
+	}
+}
+
+// TestStoreHotSwapWithoutRestart rewrites a served file and checks the
+// running server picks up the new generation after a Refresh.
+func TestStoreHotSwapWithoutRestart(t *testing.T) {
+	dir := t.TempDir()
+	ref1 := writeStorePes(t, dir, "app", testPM(60, 80, 20, 400))
+
+	st := store.New(store.Options{})
+	defer st.Close()
+	if _, err := st.AddDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Store: st})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ask := func(p int) string {
+		t.Helper()
+		// Empty backend name: the single store entry must resolve.
+		resp, body := postJSON(t, ts.URL+"/query", queryRequest{Query: Query{Op: "aliases", P: intp(p)}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("aliases(%d): status %d: %s", p, resp.StatusCode, body)
+		}
+		var res Result
+		if err := json.Unmarshal(body, &res); err != nil {
+			t.Fatal(err)
+		}
+		return string(res.IDs)
+	}
+	if got := ask(3); got != directIDs(t, ref1.ListAliases(3)) {
+		t.Fatalf("pre-swap answer %s", got)
+	}
+
+	ref2 := writeStorePes(t, dir, "app", testPM(61, 90, 22, 500))
+	if err := st.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ask(3); got != directIDs(t, ref2.ListAliases(3)) {
+		t.Fatalf("post-swap answer %s, want new generation's %s", got, directIDs(t, ref2.ListAliases(3)))
+	}
+	resp, err := http.Get(ts.URL + "/debug/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap store.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Swaps != 1 || snap.Backends[0].Generation != 2 {
+		t.Fatalf("swap not reflected: %+v", snap)
+	}
+}
+
+func TestStoreResolveErrors(t *testing.T) {
+	dir := t.TempDir()
+	st := store.New(store.Options{})
+	defer st.Close()
+	// A catalogued entry whose file is corrupt: resolving is the
+	// server's failure (502), an uncatalogued name is the client's (404).
+	if err := os.WriteFile(filepath.Join(dir, "bad.pes"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AddDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Store: st})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, _ := postJSON(t, ts.URL+"/query", queryRequest{Backend: "bad", Query: Query{Op: "aliases", P: intp(0)}})
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("corrupt backend: status %d, want 502", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/query", queryRequest{Backend: "ghost", Query: Query{Op: "aliases", P: intp(0)}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown backend: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestStaticAndStoreBackendsCoexist registers a static index alongside a
+// store catalog and checks both resolve, with static shadowing the store
+// on name collisions.
+func TestStaticAndStoreBackendsCoexist(t *testing.T) {
+	dir := t.TempDir()
+	storeRef := writeStorePes(t, dir, "shared", testPM(70, 60, 15, 300))
+	_ = storeRef
+
+	st := store.New(store.Options{})
+	defer st.Close()
+	if _, err := st.AddDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Store: st})
+	staticIx := testIndex(t, testPM(71, 50, 12, 250))
+	if err := s.AddIndex("shared", staticIx); err != nil {
+		t.Fatal(err)
+	}
+	staticOnly := testIndex(t, testPM(72, 40, 10, 200))
+	if err := s.AddIndex("solo", staticOnly); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/query", queryRequest{Backend: "shared", Query: Query{Op: "aliases", P: intp(2)}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shared: %d %s", resp.StatusCode, body)
+	}
+	var res Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if string(res.IDs) != directIDs(t, staticIx.ListAliases(2)) {
+		t.Fatal("static index did not shadow the store entry")
+	}
+	bs := s.Backends()
+	if len(bs) != 2 {
+		t.Fatalf("backends = %+v", bs)
+	}
+	for _, b := range bs {
+		if b.Source != "static" && b.Name != "shared" && b.Name != "solo" {
+			t.Fatalf("unexpected backend %+v", b)
+		}
+	}
+}
+
+func TestPprofMount(t *testing.T) {
+	_, _, ts := newTestServer(t, Options{EnablePprof: true})
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof enabled: status %d, want 200", resp.StatusCode)
+	}
+
+	_, _, tsOff := newTestServer(t, Options{})
+	resp, err = http.Get(tsOff.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof disabled: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,37 @@
+package store
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseBytes parses a human byte-size spec for the -mem-budget flag: a
+// plain integer is bytes; K/M/G suffixes (optionally followed by B or iB,
+// case-insensitive) are binary multiples — "64MiB", "64MB", "64M", and
+// "67108864" all mean the same budget.
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	upper := strings.ToUpper(t)
+	mult := int64(1)
+	for _, suf := range []struct {
+		s string
+		m int64
+	}{
+		{"KIB", 1 << 10}, {"KB", 1 << 10}, {"K", 1 << 10},
+		{"MIB", 1 << 20}, {"MB", 1 << 20}, {"M", 1 << 20},
+		{"GIB", 1 << 30}, {"GB", 1 << 30}, {"G", 1 << 30},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(upper, suf.s) {
+			mult = suf.m
+			t = t[:len(t)-len(suf.s)]
+			break
+		}
+	}
+	n, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("store: bad byte size %q", s)
+	}
+	return int64(n * float64(mult)), nil
+}

@@ -1,0 +1,584 @@
+// Package store manages the lifecycle of decoded Pestrie indexes so one
+// process can front many more .pes files than fit in memory at once. The
+// paper's Table 7 makes decoding a persistent file orders of magnitude
+// cheaper than re-running the analysis; this package treats that as a
+// license to unload: indexes are decoded lazily on first query, kept in an
+// LRU sized by Index.MemoryFootprint against a configurable byte budget,
+// and dropped under pressure — the next query just pays the (cheap) decode
+// again.
+//
+// A Store is a catalog of backend name → .pes path (explicit Add calls or
+// AddDir directory scans). Acquire pins a decoded generation for the
+// duration of a query; concurrent first loads of the same entry are
+// deduplicated (singleflight), and pinned generations are never freed by
+// eviction. Refresh (or the background reloader started by
+// Options.ReloadInterval) re-hashes files and hot-swaps changed ones: the
+// new generation is decoded off to the side and installed with a single
+// pointer swap, so in-flight queries keep their pinned old generation and
+// new queries atomically see the new one — no restart, no half-swapped
+// state.
+package store
+
+import (
+	"bytes"
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pestrie/internal/core"
+	"pestrie/internal/perf"
+)
+
+// ErrUnknown reports an Acquire for a name that is not in the catalog.
+var ErrUnknown = errors.New("store: unknown backend")
+
+// Options configure a Store.
+type Options struct {
+	// MemBudget caps the total MemoryFootprint of decoded generations in
+	// bytes. Zero or negative means unlimited. The budget is enforced
+	// best-effort: generations pinned by in-flight queries are never
+	// freed, so the total can transiently exceed the budget when the
+	// working set is pinned; it drops back as handles are released.
+	MemBudget int64
+
+	// ReloadInterval, when positive, starts a background goroutine that
+	// calls Refresh at this period, picking up rewritten files (hot-swap)
+	// and new files in scanned directories. Zero disables it; Refresh can
+	// still be called explicitly.
+	ReloadInterval time.Duration
+}
+
+// Spec names one catalog entry.
+type Spec struct {
+	Name string
+	Path string
+}
+
+// generation is one decoded image of an entry's file. Immutable after
+// construction except for the refcount bookkeeping, which Store.mu guards.
+type generation struct {
+	ix    *core.Index
+	sum   [sha256.Size]byte
+	bytes int64
+
+	// guarded by Store.mu:
+	refs    int  // in-flight handles pinning this generation
+	retired bool // no longer the entry's current generation
+}
+
+// dims is the last-known shape of an entry, kept across eviction so
+// monitoring can describe unloaded entries.
+type dims struct {
+	Pointers   int
+	Objects    int
+	Groups     int
+	Rectangles int
+}
+
+type entry struct {
+	name    string
+	path    string
+	fromDir bool
+
+	// guarded by Store.mu:
+	gen      *generation   // current generation; nil when not loaded
+	loading  chan struct{} // non-nil while a first load is in flight
+	swapping bool          // a Refresh is decoding a replacement
+	loadErr  string        // last load/swap failure, "" when healthy
+	genSeq   int64         // bumped on every successful load or swap
+	elem     *list.Element // LRU position; non-nil iff gen != nil
+	info     dims
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	loads     atomic.Int64
+	evictions atomic.Int64
+	swaps     atomic.Int64
+	loadLat   perf.Histogram
+}
+
+// Store is a managed, memory-budgeted catalog of decoded indexes.
+type Store struct {
+	opts Options
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // of *entry; front = hottest; loaded entries only
+	total   int64      // bytes charged: current + retired-but-pinned generations
+	dirs    []string   // directories rescanned by Refresh
+	lastRef string     // last Refresh error, "" when healthy
+	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New returns an empty Store; populate the catalog with Add/AddDir. If
+// opts.ReloadInterval is positive the background reloader starts
+// immediately; stop it with Close.
+func New(opts Options) *Store {
+	s := &Store{
+		opts:    opts,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+		stop:    make(chan struct{}),
+	}
+	if opts.ReloadInterval > 0 {
+		s.wg.Add(1)
+		go s.reloader()
+	}
+	return s
+}
+
+func (s *Store) reloader() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.ReloadInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			_ = s.Refresh()
+		}
+	}
+}
+
+// Close stops the background reloader. The catalog stays usable; Close
+// exists so serve can shut the poller down cleanly.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+}
+
+// Add registers one backend name → .pes path. The file is not touched
+// until the first Acquire.
+func (s *Store) Add(name, path string) error {
+	return s.add(name, path, false)
+}
+
+func (s *Store) add(name, path string, fromDir bool) error {
+	if name == "" {
+		return errors.New("store: empty backend name")
+	}
+	if path == "" {
+		return fmt.Errorf("store: empty path for backend %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.entries[name]; dup {
+		return fmt.Errorf("store: duplicate backend %q", name)
+	}
+	s.entries[name] = &entry{name: name, path: path, fromDir: fromDir}
+	return nil
+}
+
+// AddDir scans dir for *.pes files and catalogs each under its file stem.
+// The directory is remembered: Refresh rescans it and picks up files added
+// later. Returns the number of entries added by this scan.
+func (s *Store) AddDir(dir string) (int, error) {
+	s.mu.Lock()
+	known := false
+	for _, d := range s.dirs {
+		if d == dir {
+			known = true
+			break
+		}
+	}
+	if !known {
+		s.dirs = append(s.dirs, dir)
+	}
+	s.mu.Unlock()
+	return s.scanDir(dir)
+}
+
+func (s *Store) scanDir(dir string) (int, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("store: scanning %s: %w", dir, err)
+	}
+	added := 0
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".pes") {
+			continue
+		}
+		name := strings.TrimSuffix(de.Name(), ".pes")
+		err := s.add(name, filepath.Join(dir, de.Name()), true)
+		switch {
+		case err == nil:
+			added++
+		case strings.Contains(err.Error(), "duplicate"):
+			// Already catalogued (a rescan, or an explicit Add shadowing
+			// the directory); keep the existing entry.
+		default:
+			return added, err
+		}
+	}
+	return added, nil
+}
+
+// Names lists the catalogued backends, sorted.
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.entries))
+	for name := range s.entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Handle is a pinned reference to one decoded generation. The Index stays
+// valid — immune to eviction and hot-swap — until Release.
+type Handle struct {
+	s    *Store
+	e    *entry
+	g    *generation
+	seq  int64
+	once sync.Once
+}
+
+// Index returns the pinned decoded index.
+func (h *Handle) Index() *core.Index { return h.g.ix }
+
+// Checksum returns the hex SHA-256 of the file image this generation was
+// decoded from.
+func (h *Handle) Checksum() string { return hex.EncodeToString(h.g.sum[:]) }
+
+// Generation returns the entry's generation sequence number at pin time
+// (1 for the first load, bumped by every hot-swap or reload).
+func (h *Handle) Generation() int64 { return h.seq }
+
+// Release unpins the generation. Safe to call more than once.
+func (h *Handle) Release() {
+	h.once.Do(func() {
+		s := h.s
+		s.mu.Lock()
+		h.g.refs--
+		if h.g.refs == 0 && h.g.retired {
+			s.total -= h.g.bytes
+		}
+		// Releasing may be what brings a pinned-over-budget store back
+		// under its budget; collect now rather than waiting for the next
+		// load.
+		s.evictLocked()
+		s.mu.Unlock()
+	})
+}
+
+// Acquire resolves name to a pinned decoded index, loading it on first use.
+// Concurrent acquires of a cold entry share one decode; ctx bounds only the
+// wait on someone else's load — the load this call performs itself is run
+// to completion so waiters can use it.
+func (s *Store) Acquire(ctx context.Context, name string) (*Handle, error) {
+	counted := false
+	for {
+		s.mu.Lock()
+		e, ok := s.entries[name]
+		if !ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w %q", ErrUnknown, name)
+		}
+		if e.gen != nil {
+			if !counted {
+				e.hits.Add(1)
+			}
+			e.gen.refs++
+			s.lru.MoveToFront(e.elem)
+			h := &Handle{s: s, e: e, g: e.gen, seq: e.genSeq}
+			s.mu.Unlock()
+			return h, nil
+		}
+		if !counted {
+			e.misses.Add(1)
+			counted = true
+		}
+		if ch := e.loading; ch != nil {
+			s.mu.Unlock()
+			select {
+			case <-ch:
+				continue
+			case <-ctx.Done():
+				return nil, fmt.Errorf("store: waiting for %q to load: %w", name, ctx.Err())
+			}
+		}
+		ch := make(chan struct{})
+		e.loading = ch
+		s.mu.Unlock()
+
+		start := time.Now()
+		gen, info, err := loadGeneration(e.path)
+
+		s.mu.Lock()
+		e.loading = nil
+		close(ch)
+		if err != nil {
+			e.loadErr = err.Error()
+			s.mu.Unlock()
+			return nil, fmt.Errorf("store: loading backend %q from %s: %w", name, e.path, err)
+		}
+		e.loadErr = ""
+		e.loads.Add(1)
+		e.loadLat.Observe(time.Since(start))
+		e.gen = gen
+		e.genSeq++
+		e.info = info
+		e.elem = s.lru.PushFront(e)
+		s.total += gen.bytes
+		gen.refs++
+		s.evictLocked()
+		h := &Handle{s: s, e: e, g: gen, seq: e.genSeq}
+		s.mu.Unlock()
+		return h, nil
+	}
+}
+
+// loadGeneration reads, hashes, and decodes one .pes image. The whole file
+// is read first so the checksum always covers exactly the bytes that were
+// decoded, even when a concurrent writer is mid-rewrite.
+func loadGeneration(path string) (*generation, dims, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, dims{}, err
+	}
+	sum := sha256.Sum256(raw)
+	ix, err := core.Load(bytes.NewReader(raw))
+	if err != nil {
+		return nil, dims{}, err
+	}
+	return &generation{ix: ix, sum: sum, bytes: ix.MemoryFootprint()}, dims{
+		Pointers:   ix.NumPointers,
+		Objects:    ix.NumObjects,
+		Groups:     ix.NumGroups,
+		Rectangles: ix.Rectangles(),
+	}, nil
+}
+
+// evictLocked frees cold, unpinned generations until the charged total is
+// within budget. Pinned entries are skipped — a query in flight never has
+// its index freed underneath it — so a fully pinned store may sit over
+// budget until handles release.
+func (s *Store) evictLocked() {
+	if s.opts.MemBudget <= 0 {
+		return
+	}
+	for el := s.lru.Back(); el != nil && s.total > s.opts.MemBudget; {
+		prev := el.Prev()
+		e := el.Value.(*entry)
+		if e.gen.refs == 0 {
+			s.total -= e.gen.bytes
+			e.gen = nil
+			s.lru.Remove(el)
+			e.elem = nil
+			e.evictions.Add(1)
+		}
+		el = prev
+	}
+}
+
+// Refresh rescans catalogued directories for new .pes files and re-hashes
+// the file behind every loaded entry, hot-swapping any whose content
+// changed. Unloaded entries are left alone — their next Acquire reads the
+// current file anyway. The first error is returned after the full sweep is
+// attempted.
+func (s *Store) Refresh() error {
+	var firstErr error
+	s.mu.Lock()
+	dirs := append([]string(nil), s.dirs...)
+	s.mu.Unlock()
+	for _, dir := range dirs {
+		if _, err := s.scanDir(dir); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	s.mu.Lock()
+	var candidates []*entry
+	for _, e := range s.entries {
+		if e.gen != nil && !e.swapping && e.loading == nil {
+			e.swapping = true
+			candidates = append(candidates, e)
+		}
+	}
+	s.mu.Unlock()
+
+	for _, e := range candidates {
+		if err := s.refreshEntry(e); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.mu.Lock()
+	if firstErr != nil {
+		s.lastRef = firstErr.Error()
+	} else {
+		s.lastRef = ""
+	}
+	s.mu.Unlock()
+	return firstErr
+}
+
+// refreshEntry hot-swaps one entry if its file changed. Called with
+// e.swapping held; clears it on every path.
+func (s *Store) refreshEntry(e *entry) error {
+	defer func() {
+		s.mu.Lock()
+		e.swapping = false
+		s.mu.Unlock()
+	}()
+
+	s.mu.Lock()
+	old := e.gen
+	s.mu.Unlock()
+	if old == nil { // evicted since the candidate scan; nothing to swap
+		return nil
+	}
+	raw, err := os.ReadFile(e.path)
+	if err != nil {
+		s.mu.Lock()
+		e.loadErr = err.Error()
+		s.mu.Unlock()
+		return fmt.Errorf("store: refreshing %q: %w", e.name, err)
+	}
+	sum := sha256.Sum256(raw)
+	if sum == old.sum {
+		return nil
+	}
+	// Changed: decode the new generation off to the side, then install it
+	// with one pointer swap. Readers pinned on old keep it alive; total
+	// stays charged for old until its last Release.
+	start := time.Now()
+	ix, err := core.Load(bytes.NewReader(raw))
+	if err != nil {
+		s.mu.Lock()
+		e.loadErr = err.Error()
+		s.mu.Unlock()
+		return fmt.Errorf("store: re-decoding %q from %s: %w", e.name, e.path, err)
+	}
+	gen := &generation{ix: ix, sum: sum, bytes: ix.MemoryFootprint()}
+
+	s.mu.Lock()
+	if e.gen != old { // swapped or evicted while we decoded; discard ours
+		s.mu.Unlock()
+		return nil
+	}
+	old.retired = true
+	if old.refs == 0 {
+		s.total -= old.bytes
+	}
+	e.gen = gen
+	e.genSeq++
+	e.loadErr = ""
+	e.info = dims{Pointers: ix.NumPointers, Objects: ix.NumObjects, Groups: ix.NumGroups, Rectangles: ix.Rectangles()}
+	e.swaps.Add(1)
+	e.loads.Add(1)
+	e.loadLat.Observe(time.Since(start))
+	s.total += gen.bytes
+	s.lru.MoveToFront(e.elem)
+	s.evictLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// EntryInfo is the monitoring snapshot of one catalog entry.
+type EntryInfo struct {
+	Name       string `json:"name"`
+	Path       string `json:"path"`
+	Loaded     bool   `json:"loaded"`
+	Generation int64  `json:"generation"`
+	Bytes      int64  `json:"bytes"`
+	Checksum   string `json:"checksum,omitempty"`
+	Pinned     int    `json:"pinned"`
+
+	// Last-known dimensions; survive eviction so unloaded entries stay
+	// describable. All zero before the first load.
+	Pointers   int `json:"pointers"`
+	Objects    int `json:"objects"`
+	Groups     int `json:"groups"`
+	Rectangles int `json:"rectangles"`
+
+	Hits        int64                  `json:"hits"`
+	Misses      int64                  `json:"misses"`
+	Loads       int64                  `json:"loads"`
+	Evictions   int64                  `json:"evictions"`
+	Swaps       int64                  `json:"swaps"`
+	LoadLatency perf.HistogramSnapshot `json:"load_latency"`
+	LastError   string                 `json:"last_error,omitempty"`
+}
+
+// Stats is the store-wide monitoring snapshot (the /debug/store payload).
+type Stats struct {
+	Budget           int64       `json:"budget"`
+	LoadedBytes      int64       `json:"loaded_bytes"`
+	Entries          int         `json:"entries"`
+	LoadedEntries    int         `json:"loaded_entries"`
+	Hits             int64       `json:"hits"`
+	Misses           int64       `json:"misses"`
+	Loads            int64       `json:"loads"`
+	Evictions        int64       `json:"evictions"`
+	Swaps            int64       `json:"swaps"`
+	LastRefreshError string      `json:"last_refresh_error,omitempty"`
+	Backends         []EntryInfo `json:"backends"`
+}
+
+// Snapshot summarizes every catalog entry, sorted by name.
+func (s *Store) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Stats{
+		Budget:           s.opts.MemBudget,
+		LoadedBytes:      s.total,
+		Entries:          len(s.entries),
+		LastRefreshError: s.lastRef,
+	}
+	for _, e := range s.entries {
+		ei := EntryInfo{
+			Name:        e.name,
+			Path:        e.path,
+			Generation:  e.genSeq,
+			Pointers:    e.info.Pointers,
+			Objects:     e.info.Objects,
+			Groups:      e.info.Groups,
+			Rectangles:  e.info.Rectangles,
+			Hits:        e.hits.Load(),
+			Misses:      e.misses.Load(),
+			Loads:       e.loads.Load(),
+			Evictions:   e.evictions.Load(),
+			Swaps:       e.swaps.Load(),
+			LoadLatency: e.loadLat.Snapshot(),
+			LastError:   e.loadErr,
+		}
+		if e.gen != nil {
+			ei.Loaded = true
+			ei.Bytes = e.gen.bytes
+			ei.Checksum = hex.EncodeToString(e.gen.sum[:])
+			ei.Pinned = e.gen.refs
+			out.LoadedEntries++
+		}
+		out.Hits += ei.Hits
+		out.Misses += ei.Misses
+		out.Loads += ei.Loads
+		out.Evictions += ei.Evictions
+		out.Swaps += ei.Swaps
+		out.Backends = append(out.Backends, ei)
+	}
+	sort.Slice(out.Backends, func(i, j int) bool { return out.Backends[i].Name < out.Backends[j].Name })
+	return out
+}

@@ -1,0 +1,417 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"pestrie/internal/core"
+	"pestrie/internal/matrix"
+)
+
+// pesBytes encodes a random matrix into a .pes image plus its directly
+// decoded reference index.
+func pesBytes(t *testing.T, seed int64, np, no, edges int) ([]byte, *core.Index) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pm := matrix.New(np, no)
+	for i := 0; i < edges; i++ {
+		pm.Add(rng.Intn(np), rng.Intn(no))
+	}
+	var buf bytes.Buffer
+	if _, err := core.Build(pm, nil).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), ix
+}
+
+func writePes(t *testing.T, path string, raw []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sameAnswers checks a handful of queries against the reference index.
+func sameAnswers(t *testing.T, got, want *core.Index) {
+	t.Helper()
+	if got.NumPointers != want.NumPointers || got.NumObjects != want.NumObjects {
+		t.Fatalf("dimensions diverged: got %d×%d, want %d×%d",
+			got.NumPointers, got.NumObjects, want.NumPointers, want.NumObjects)
+	}
+	for p := 0; p < want.NumPointers; p++ {
+		q := (p * 7) % want.NumPointers
+		if got.IsAlias(p, q) != want.IsAlias(p, q) {
+			t.Fatalf("IsAlias(%d,%d) diverged", p, q)
+		}
+		if !equalInts(got.ListPointsTo(p), want.ListPointsTo(p)) {
+			t.Fatalf("ListPointsTo(%d) diverged", p)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLazyLoadHitAndCounters(t *testing.T) {
+	dir := t.TempDir()
+	raw, ref := pesBytes(t, 1, 80, 20, 400)
+	writePes(t, filepath.Join(dir, "a.pes"), raw)
+
+	s := New(Options{})
+	defer s.Close()
+	if err := s.Add("a", filepath.Join(dir, "a.pes")); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing decoded before the first Acquire.
+	if st := s.Snapshot(); st.LoadedEntries != 0 || st.Loads != 0 {
+		t.Fatalf("pre-acquire snapshot: %+v", st)
+	}
+	h, err := s.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAnswers(t, h.Index(), ref)
+	if h.Generation() != 1 {
+		t.Fatalf("generation = %d, want 1", h.Generation())
+	}
+	h.Release()
+	h.Release() // idempotent
+
+	h2, err := s.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.Release()
+
+	st := s.Snapshot()
+	if st.Loads != 1 || st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("loads=%d misses=%d hits=%d, want 1/1/1", st.Loads, st.Misses, st.Hits)
+	}
+	e := st.Backends[0]
+	if !e.Loaded || e.Bytes != ref.MemoryFootprint() || e.Pinned != 0 {
+		t.Fatalf("entry snapshot: %+v", e)
+	}
+	if e.Pointers != ref.NumPointers || e.Rectangles != ref.Rectangles() {
+		t.Fatalf("entry dims: %+v", e)
+	}
+	if e.LoadLatency.Count != 1 || e.LoadLatency.MaxNS <= 0 {
+		t.Fatalf("load latency not recorded: %+v", e.LoadLatency)
+	}
+}
+
+func TestUnknownBackend(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	_, err := s.Acquire(context.Background(), "nope")
+	if !errors.Is(err, ErrUnknown) {
+		t.Fatalf("err = %v, want ErrUnknown", err)
+	}
+}
+
+func TestSingleflightDedupsConcurrentLoads(t *testing.T) {
+	dir := t.TempDir()
+	raw, ref := pesBytes(t, 2, 100, 25, 600)
+	writePes(t, filepath.Join(dir, "a.pes"), raw)
+	s := New(Options{})
+	defer s.Close()
+	if err := s.Add("a", filepath.Join(dir, "a.pes")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, err := s.Acquire(context.Background(), "a")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer h.Release()
+			if h.Index().NumPointers != ref.NumPointers {
+				t.Error("wrong index")
+			}
+		}()
+	}
+	wg.Wait()
+	if st := s.Snapshot(); st.Loads != 1 {
+		t.Fatalf("loads = %d, want 1 (singleflight)", st.Loads)
+	}
+}
+
+func TestBudgetEvictionAndReload(t *testing.T) {
+	dir := t.TempDir()
+	var refs []*core.Index
+	names := []string{"a", "b", "c"}
+	var foot int64
+	for i, name := range names {
+		raw, ref := pesBytes(t, int64(10+i), 90, 22, 500)
+		writePes(t, filepath.Join(dir, name+".pes"), raw)
+		refs = append(refs, ref)
+		foot = ref.MemoryFootprint()
+	}
+	// Budget fits roughly one index: serving all three forces eviction.
+	s := New(Options{MemBudget: foot + foot/2})
+	defer s.Close()
+	for _, name := range names {
+		if err := s.Add(name, filepath.Join(dir, name+".pes")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 3; round++ {
+		for i, name := range names {
+			h, err := s.Acquire(context.Background(), name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameAnswers(t, h.Index(), refs[i])
+			h.Release()
+		}
+	}
+	st := s.Snapshot()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions under a budget smaller than the working set")
+	}
+	if st.LoadedBytes > s.opts.MemBudget {
+		t.Fatalf("loaded bytes %d exceed budget %d with nothing pinned", st.LoadedBytes, s.opts.MemBudget)
+	}
+	if st.Loads <= 3 {
+		t.Fatalf("loads = %d, want reloads after eviction", st.Loads)
+	}
+}
+
+func TestPinnedEntriesSurviveEviction(t *testing.T) {
+	dir := t.TempDir()
+	rawA, refA := pesBytes(t, 20, 90, 22, 500)
+	rawB, _ := pesBytes(t, 21, 90, 22, 500)
+	writePes(t, filepath.Join(dir, "a.pes"), rawA)
+	writePes(t, filepath.Join(dir, "b.pes"), rawB)
+	s := New(Options{MemBudget: 1}) // every load overshoots the budget
+	defer s.Close()
+	_ = s.Add("a", filepath.Join(dir, "a.pes"))
+	_ = s.Add("b", filepath.Join(dir, "b.pes"))
+
+	ha, err := s.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loading b pressures the budget, but a is pinned: it must survive.
+	hb, err := s.Acquire(context.Background(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb.Release()
+	st := s.Snapshot()
+	for _, e := range st.Backends {
+		if e.Name == "a" && !e.Loaded {
+			t.Fatal("pinned entry was evicted")
+		}
+	}
+	sameAnswers(t, ha.Index(), refA)
+	ha.Release()
+	// With the pin gone, release-time eviction brings the store under
+	// budget (nothing can be resident at budget 1).
+	if st := s.Snapshot(); st.LoadedEntries != 0 {
+		t.Fatalf("loaded entries = %d after releasing all pins", st.LoadedEntries)
+	}
+}
+
+func TestHotSwapOnRefresh(t *testing.T) {
+	dir := t.TempDir()
+	raw1, ref1 := pesBytes(t, 30, 70, 18, 350)
+	raw2, ref2 := pesBytes(t, 31, 75, 19, 400)
+	path := filepath.Join(dir, "a.pes")
+	writePes(t, path, raw1)
+	s := New(Options{})
+	defer s.Close()
+	_ = s.Add("a", path)
+
+	hOld, err := s.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unchanged file: Refresh must be a no-op.
+	if err := s.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Snapshot(); st.Swaps != 0 {
+		t.Fatalf("swaps = %d after no-op refresh", st.Swaps)
+	}
+
+	writePes(t, path, raw2)
+	if err := s.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	hNew, err := s.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The held handle still answers from the old generation; the new
+	// acquire sees the new one.
+	sameAnswers(t, hOld.Index(), ref1)
+	sameAnswers(t, hNew.Index(), ref2)
+	if hOld.Checksum() == hNew.Checksum() {
+		t.Fatal("checksum did not change across swap")
+	}
+	if hNew.Generation() != hOld.Generation()+1 {
+		t.Fatalf("generations %d -> %d, want +1", hOld.Generation(), hNew.Generation())
+	}
+	st := s.Snapshot()
+	if st.Swaps != 1 {
+		t.Fatalf("swaps = %d, want 1", st.Swaps)
+	}
+	// Old generation still pinned: its bytes stay charged.
+	if st.LoadedBytes != ref1.MemoryFootprint()+ref2.MemoryFootprint() {
+		t.Fatalf("charged %d, want old+new while old is pinned", st.LoadedBytes)
+	}
+	hOld.Release()
+	if st := s.Snapshot(); st.LoadedBytes != ref2.MemoryFootprint() {
+		t.Fatalf("charged %d after releasing old, want just new", st.LoadedBytes)
+	}
+	hNew.Release()
+}
+
+func TestAddDirAndRefreshPicksUpNewFiles(t *testing.T) {
+	dir := t.TempDir()
+	raw, _ := pesBytes(t, 40, 50, 12, 200)
+	writePes(t, filepath.Join(dir, "one.pes"), raw)
+	writePes(t, filepath.Join(dir, "ignored.txt"), []byte("not a pes"))
+	s := New(Options{})
+	defer s.Close()
+	n, err := s.AddDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("AddDir added %d, want 1", n)
+	}
+	writePes(t, filepath.Join(dir, "two.pes"), raw)
+	if err := s.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "one" || names[1] != "two" {
+		t.Fatalf("names = %v, want [one two]", names)
+	}
+	h, err := s.Acquire(context.Background(), "two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+}
+
+func TestLoadErrorsSurfaceAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.pes")
+	s := New(Options{})
+	defer s.Close()
+	_ = s.Add("a", path)
+
+	if _, err := s.Acquire(context.Background(), "a"); err == nil {
+		t.Fatal("acquire of missing file succeeded")
+	}
+	writePes(t, path, []byte("garbage, not a pes file"))
+	if _, err := s.Acquire(context.Background(), "a"); err == nil {
+		t.Fatal("acquire of corrupt file succeeded")
+	}
+	if st := s.Snapshot(); st.Backends[0].LastError == "" {
+		t.Fatal("load error not surfaced in snapshot")
+	}
+	raw, ref := pesBytes(t, 50, 40, 10, 150)
+	writePes(t, path, raw)
+	h, err := s.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAnswers(t, h.Index(), ref)
+	h.Release()
+	if st := s.Snapshot(); st.Backends[0].LastError != "" {
+		t.Fatalf("stale load error %q after recovery", st.Backends[0].LastError)
+	}
+}
+
+func TestBackgroundReloader(t *testing.T) {
+	dir := t.TempDir()
+	raw1, _ := pesBytes(t, 60, 60, 15, 300)
+	raw2, ref2 := pesBytes(t, 61, 65, 16, 320)
+	path := filepath.Join(dir, "a.pes")
+	writePes(t, path, raw1)
+	s := New(Options{ReloadInterval: 5 * time.Millisecond})
+	defer s.Close()
+	_ = s.Add("a", path)
+	h, err := s.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	writePes(t, path, raw2)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h, err := s.Acquire(context.Background(), "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		np := h.Index().NumPointers
+		h.Release()
+		if np == ref2.NumPointers {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background reloader never hot-swapped the rewritten file")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0},
+		{"4096", 4096},
+		{"64MiB", 64 << 20},
+		{"64MB", 64 << 20},
+		{"64M", 64 << 20},
+		{"64m", 64 << 20},
+		{"2GiB", 2 << 30},
+		{"512KiB", 512 << 10},
+		{"1.5K", 1536},
+		{"100B", 100},
+		{" 8 KiB ", 8 << 10},
+	} {
+		got, err := ParseBytes(tc.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-5", "MiB", "12XB"} {
+		if _, err := ParseBytes(bad); err == nil {
+			t.Errorf("ParseBytes(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pestrie/internal/core"
+)
+
+// TestStressEvictionAndRotation is the store's torture test, meant for
+// -race: a budget small enough to force continuous eviction, a writer
+// rotating every backend's file between pre-built generations (atomic
+// rename, the documented rotation protocol), and a refresher hot-swapping
+// as fast as it can, while reader goroutines hammer queries. Every handle
+// identifies the generation it pinned by checksum; every answer must be
+// byte-identical to a direct core.Index call on that generation's
+// reference decode — which fails loudly if a reader ever observes a
+// half-swapped or torn index.
+func TestStressEvictionAndRotation(t *testing.T) {
+	dir := t.TempDir()
+	const backends = 3
+	const generations = 3
+
+	type gen struct {
+		raw []byte
+		ref *core.Index
+	}
+	images := make(map[string]*gen) // hex checksum -> reference
+	files := make([][]*gen, backends)
+	var foot int64
+	for b := 0; b < backends; b++ {
+		for g := 0; g < generations; g++ {
+			raw, ref := pesBytes(t, int64(100+10*b+g), 60+5*g, 15, 300+20*g)
+			sum := sha256.Sum256(raw)
+			gn := &gen{raw: raw, ref: ref}
+			images[hex.EncodeToString(sum[:])] = gn
+			files[b] = append(files[b], gn)
+			foot = ref.MemoryFootprint()
+		}
+	}
+	name := func(b int) string { return fmt.Sprintf("b%d", b) }
+	path := func(b int) string { return filepath.Join(dir, name(b)+".pes") }
+	for b := 0; b < backends; b++ {
+		if err := os.WriteFile(path(b), files[b][0].raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Budget ~1.5 footprints across 3 backends: every acquire of a cold
+	// backend evicts another.
+	s := New(Options{MemBudget: foot + foot/2})
+	defer s.Close()
+	for b := 0; b < backends; b++ {
+		if err := s.Add(name(b), path(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var rotations atomic.Int64
+
+	// Writer: rotate file generations with atomic renames.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b := rng.Intn(backends)
+			g := files[b][rng.Intn(generations)]
+			tmp := path(b) + ".tmp"
+			if err := os.WriteFile(tmp, g.raw, 0o644); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := os.Rename(tmp, path(b)); err != nil {
+				t.Error(err)
+				return
+			}
+			rotations.Add(1)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Refresher: hot-swap loop (tighter than any sane ReloadInterval).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Refresh(); err != nil {
+				t.Errorf("refresh: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Readers: pin, identify the generation by checksum, verify answers
+	// byte-for-byte against that generation's reference index.
+	const readers = 8
+	const iters = 60
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				b := rng.Intn(backends)
+				h, err := s.Acquire(context.Background(), name(b))
+				if err != nil {
+					t.Errorf("acquire %s: %v", name(b), err)
+					return
+				}
+				g, ok := images[h.Checksum()]
+				if !ok {
+					h.Release()
+					t.Errorf("handle pinned checksum %s that matches no generation ever written — torn or half-swapped image", h.Checksum())
+					return
+				}
+				ix, ref := h.Index(), g.ref
+				for k := 0; k < 15; k++ {
+					p := rng.Intn(ref.NumPointers)
+					q := rng.Intn(ref.NumPointers)
+					o := rng.Intn(ref.NumObjects)
+					if ix.IsAlias(p, q) != ref.IsAlias(p, q) {
+						t.Errorf("IsAlias(%d,%d) diverged from pinned generation", p, q)
+						h.Release()
+						return
+					}
+					for _, pair := range [][2][]int{
+						{ix.ListAliases(p), ref.ListAliases(p)},
+						{ix.ListPointsTo(p), ref.ListPointsTo(p)},
+						{ix.ListPointedBy(o), ref.ListPointedBy(o)},
+					} {
+						got, _ := json.Marshal(pair[0])
+						want, _ := json.Marshal(pair[1])
+						if !bytes.Equal(got, want) {
+							t.Errorf("list query diverged from pinned generation: %s vs %s", got, want)
+							h.Release()
+							return
+						}
+					}
+				}
+				h.Release()
+			}
+		}(w)
+	}
+
+	// Let the machinery grind, then stop everything.
+	time.Sleep(150 * time.Millisecond)
+	wgDone := make(chan struct{})
+	go func() { wg.Wait(); close(wgDone) }()
+	// Readers finish on their own; writer/refresher run until stop. Wait
+	// until both churn mechanisms have demonstrably fired.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		select {
+		case <-wgDone:
+			t.Fatal("writer/refresher exited early")
+		default:
+		}
+		st := s.Snapshot()
+		if st.Swaps > 0 && st.Evictions > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			close(stop)
+			<-wgDone
+			t.Fatalf("churn never materialized: swaps=%d evictions=%d", st.Swaps, st.Evictions)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	<-wgDone
+
+	st := s.Snapshot()
+	if st.Evictions == 0 {
+		t.Error("stress run never evicted — budget not exercised")
+	}
+	if st.Swaps == 0 {
+		t.Error("stress run never hot-swapped — rotation not exercised")
+	}
+	if rotations.Load() == 0 {
+		t.Error("writer never rotated")
+	}
+	// Nothing pinned anymore: charged bytes must respect the budget.
+	if st.LoadedBytes > foot+foot/2 {
+		t.Errorf("loaded bytes %d exceed budget %d after quiescence", st.LoadedBytes, foot+foot/2)
+	}
+}

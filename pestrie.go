@@ -36,6 +36,7 @@ import (
 	"pestrie/internal/ir"
 	"pestrie/internal/matrix"
 	"pestrie/internal/server"
+	"pestrie/internal/store"
 	"pestrie/internal/synth"
 )
 
@@ -260,6 +261,29 @@ type QueryServerOptions = server.Options
 // with AddIndex, then Serve or ListenAndServe. Shutdown stops it
 // gracefully.
 func NewQueryServer(opts QueryServerOptions) *QueryServer { return server.New(opts) }
+
+// --- managed index store (cmd/pestrie serve -store-dir) -----------------
+
+// Store is the managed, memory-budgeted index store: a catalog of backend
+// name → .pes path where indexes decode lazily on first Acquire, cold
+// entries are evicted LRU-wise to respect a byte budget (in-flight queries
+// pin their generation, so eviction never frees an index mid-query), and
+// Refresh hot-swaps entries whose file checksum changed. Set
+// QueryServerOptions.Store to serve a catalog instead of eagerly loaded
+// indexes.
+type Store = store.Store
+
+// StoreOptions configure a Store: the decoded-index memory budget and the
+// optional background reload (hot-swap) interval.
+type StoreOptions = store.Options
+
+// StoreHandle is a pinned reference to one decoded generation, returned by
+// Store.Acquire; the index it exposes survives eviction and hot-swap until
+// Release.
+type StoreHandle = store.Handle
+
+// NewStore returns an empty store; populate the catalog with Add/AddDir.
+func NewStore(opts StoreOptions) *Store { return store.New(opts) }
 
 // --- workloads ---------------------------------------------------------
 

@@ -2,6 +2,7 @@ package pestrie
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -171,5 +172,46 @@ func TestQueryServerFacade(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(body), "true") {
 		t.Fatalf("isalias(0,1) over HTTP: %s", body)
+	}
+}
+
+func TestStoreFacade(t *testing.T) {
+	dir := t.TempDir()
+	pm := NewMatrix(6, 3)
+	for _, f := range [][2]int{{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}} {
+		pm.Add(f[0], f[1])
+	}
+	for _, name := range []string{"lib", "app"} {
+		if err := WriteFile(Build(pm, nil), filepath.Join(dir, name+".pes")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := NewStore(StoreOptions{MemBudget: 1 << 20})
+	defer st.Close()
+	if _, err := st.AddDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	h, err := st.Acquire(context.Background(), "lib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Index().IsAlias(0, 1) || h.Index().IsAlias(0, 2) {
+		t.Fatal("store-acquired index answers wrong")
+	}
+	h.Release()
+
+	// The store slots straight into the query server facade.
+	s := NewQueryServer(QueryServerOptions{Store: st})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/query", "application/json",
+		strings.NewReader(`{"backend":"app","op":"isalias","p":0,"q":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "true") {
+		t.Fatalf("store-backed isalias over HTTP: %s", body)
 	}
 }
