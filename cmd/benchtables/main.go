@@ -7,8 +7,12 @@
 //	benchtables -table all
 //	benchtables -table 7 -presets antlr,chart -scale 0.01
 //	benchtables -table fig7 -scale 0.005
+//	benchtables -table build -presets fop -scale 0.05 -json BENCH_build.json
 //
-// Tables: 2, fig1, 7, 8, fig7, ablation, all.
+// Tables: 2, fig1, 7, 8, fig7, ablation, build, all. The build experiment
+// measures -j1 vs -jN construction and decode (see internal/exper's
+// BuildBench); -j sizes the pool and -json additionally writes the rows as
+// JSON.
 package main
 
 import (
@@ -31,29 +35,50 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
-	table := fs.String("table", "all", "which experiment: 2 | fig1 | 7 | 8 | fig7 | ablation | all")
+	table := fs.String("table", "all", "which experiment: 2 | fig1 | 7 | 8 | fig7 | ablation | build | all")
 	scale := fs.Float64("scale", 0.01, "benchmark scale vs the paper's sizes")
 	presets := fs.String("presets", "", "comma-separated preset names (default: all 12)")
 	stride := fs.Int("stride", 0, "base-pointer stride (0 = auto ≈1000 base pointers)")
+	jobs := fs.Int("j", 0, "worker-pool size for the parallel columns (0 = GOMAXPROCS)")
+	jsonOut := fs.String("json", "", "also write the build experiment's rows as JSON to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := &exper.Options{Scale: *scale, BaseStride: *stride}
+	opts := &exper.Options{Scale: *scale, BaseStride: *stride, Workers: *jobs}
 	if *presets != "" {
 		opts.Presets = strings.Split(*presets, ",")
 	}
 
+	buildBench := func(o *exper.Options) (string, error) {
+		rows := exper.BuildBench(o)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return "", err
+			}
+			if err := exper.WriteBuildBenchJSON(f, rows); err != nil {
+				f.Close()
+				return "", err
+			}
+			if err := f.Close(); err != nil {
+				return "", err
+			}
+		}
+		return exper.RenderBuildBench(rows), nil
+	}
+
 	experiments := []struct {
 		key, name string
-		fn        func(*exper.Options) string
+		fn        func(*exper.Options) (string, error)
 	}{
-		{"2", "table 2", func(o *exper.Options) string { return exper.RenderTable2(exper.Table2(o)) }},
-		{"fig1", "figure 1", func(o *exper.Options) string { return exper.RenderFigure1(exper.Figure1(o)) }},
-		{"7", "table 7", func(o *exper.Options) string { return exper.RenderTable7(exper.Table7(o)) }},
-		{"8", "table 8", func(o *exper.Options) string { return exper.RenderTable8(exper.Table8(o)) }},
-		{"fig7", "figure 7", func(o *exper.Options) string { return exper.RenderFigure7(exper.Figure7(o)) }},
-		{"ablation", "ablations", func(o *exper.Options) string { return exper.RenderAblations(exper.Ablations(o)) }},
+		{"2", "table 2", func(o *exper.Options) (string, error) { return exper.RenderTable2(exper.Table2(o)), nil }},
+		{"fig1", "figure 1", func(o *exper.Options) (string, error) { return exper.RenderFigure1(exper.Figure1(o)), nil }},
+		{"7", "table 7", func(o *exper.Options) (string, error) { return exper.RenderTable7(exper.Table7(o)), nil }},
+		{"8", "table 8", func(o *exper.Options) (string, error) { return exper.RenderTable8(exper.Table8(o)), nil }},
+		{"fig7", "figure 7", func(o *exper.Options) (string, error) { return exper.RenderFigure7(exper.Figure7(o)), nil }},
+		{"ablation", "ablations", func(o *exper.Options) (string, error) { return exper.RenderAblations(exper.Ablations(o)), nil }},
+		{"build", "build bench", buildBench},
 	}
 	any := false
 	for _, e := range experiments {
@@ -62,7 +87,11 @@ func run(args []string, w io.Writer) error {
 		}
 		any = true
 		start := time.Now()
-		fmt.Fprint(w, e.fn(opts))
+		out, err := e.fn(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, out)
 		fmt.Fprintf(w, "[%s regenerated in %s]\n\n", e.name, time.Since(start).Round(time.Millisecond))
 	}
 	if !any {

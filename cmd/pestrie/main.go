@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	pestrie encode -in pm.ptm -out pm.pes [-random-order] [-merge-objects]
-//	pestrie info -in pm.pes
+//	pestrie encode -in pm.ptm -out pm.pes [-random-order] [-merge-objects] [-j N]
+//	pestrie info -in pm.pes [-j N]
 //	pestrie query -in pm.pes -op isalias -p 3 -q 7
 //	pestrie query -in pm.pes -op aliases|pointsto -p 3
 //	pestrie query -in pm.pes -op pointedby -o 5
@@ -368,6 +368,7 @@ func encode(args []string) error {
 	seed := fs.Int64("seed", 1, "seed for -random-order")
 	mergeObjects := fs.Bool("merge-objects", false, "merge equivalent objects into shared origins")
 	noPrune := fs.Bool("no-prune", false, "disable Theorem-2 rectangle pruning")
+	jobs := fs.Int("j", 0, "construction worker count (0 = GOMAXPROCS, 1 = sequential); output is identical for any value")
 	fs.Parse(args)
 	if (*in == "") == (*facts == "") || *out == "" {
 		return fmt.Errorf("encode needs exactly one of -in/-facts, plus -out")
@@ -395,7 +396,7 @@ func encode(args []string) error {
 		}
 		pm = fa.PM
 	}
-	opts := &core.Options{MergeEquivalentObjects: *mergeObjects, DisablePruning: *noPrune}
+	opts := &core.Options{MergeEquivalentObjects: *mergeObjects, DisablePruning: *noPrune, Workers: *jobs}
 	if *randomOrder {
 		opts.Order = rand.New(rand.NewSource(*seed)).Perm(pm.NumObjects)
 	}
@@ -419,13 +420,21 @@ func encode(args []string) error {
 func info(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("in", "", "persistent file (.pes)")
+	jobs := fs.Int("j", 0, "decode worker count (0 = GOMAXPROCS, 1 = sequential)")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("info needs -in")
 	}
 	var idx *pestrie.Index
 	var err error
-	dur := perf.Time(func() { idx, err = pestrie.LoadFile(*in) })
+	dur := perf.Time(func() {
+		var f *os.File
+		if f, err = os.Open(*in); err != nil {
+			return
+		}
+		defer f.Close()
+		idx, err = pestrie.LoadWith(f, *jobs)
+	})
 	if err != nil {
 		return err
 	}

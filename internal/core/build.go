@@ -14,19 +14,21 @@ import "pestrie/internal/matrix"
 //   - group membership only shrinks after creation, so a cross edge with
 //     ξ-value ω covers precisely the target plus the subtrees of its tree
 //     edges labelled ≥ ω (§3.3).
-func (t *Trie) partition(pm *matrix.PointsTo, order []int, mergeObjects bool) {
-	pmt := pm.Transpose()
+func (t *Trie) partition(pm *matrix.PointsTo, order []int, mergeObjects bool, workers int) {
+	pmt := pm.TransposeWith(workers)
 	groupOf := make([]*group, t.NumPointers)
 	t.objectTS = make([]int, t.NumObjects) // filled by assignTimestamps
 	originOf := make([]*group, t.NumObjects)
 
 	// With object merging enabled, identical pointed-by rows share one
 	// origin. The representative is the first object of the class in the
-	// processing order.
+	// processing order. The pointer-side classes of the transpose are
+	// exactly the object classes of pm, so the pmt computed above is
+	// reused instead of transposing a second time.
 	var objClass []int
 	repOf := map[int]int{} // class -> representative object
 	if mergeObjects {
-		objClass, _ = pm.ObjectEquivalenceClasses()
+		objClass, _ = pmt.EquivalenceClassesWith(workers)
 	}
 
 	newGroup := func() *group {

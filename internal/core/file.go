@@ -7,6 +7,7 @@ import (
 	"io"
 	"sort"
 
+	"pestrie/internal/par"
 	"pestrie/internal/safeio"
 	"pestrie/internal/segtree"
 )
@@ -92,7 +93,11 @@ func (t *Trie) WriteTo(w io.Writer) (int64, error) {
 	}
 
 	// Bucket rectangles by (shape, case) and sort each bucket by (X1, Y1)
-	// so X1 delta-coding is effective.
+	// so X1 delta-coding is effective. The eight buckets are disjoint, so
+	// their sorts fan out over the worker pool the Trie was built with.
+	// Each bucket receives the same elements in the same order regardless
+	// of the pool size, and sort.Slice is deterministic for a fixed input,
+	// so the emitted bytes are identical for any worker count.
 	var buckets [numShapes][2][]segtree.Rect
 	for _, r := range t.rects {
 		c := 1
@@ -101,15 +106,29 @@ func (t *Trie) WriteTo(w io.Writer) (int64, error) {
 		}
 		buckets[classify(r)][c] = append(buckets[classify(r)][c], r)
 	}
+	sortBucket := func(i int) {
+		bucket := buckets[i/2][i%2]
+		sort.Slice(bucket, func(i, j int) bool {
+			if bucket[i].X1 != bucket[j].X1 {
+				return bucket[i].X1 < bucket[j].X1
+			}
+			return bucket[i].Y1 < bucket[j].Y1
+		})
+	}
+	if t.workers > 1 {
+		par.Chunks(int(numShapes)*2, t.workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sortBucket(i)
+			}
+		})
+	} else {
+		for i := 0; i < int(numShapes)*2; i++ {
+			sortBucket(i)
+		}
+	}
 	for s := shapePoint; s < numShapes; s++ {
 		for c := 0; c < 2; c++ {
 			bucket := buckets[s][c]
-			sort.Slice(bucket, func(i, j int) bool {
-				if bucket[i].X1 != bucket[j].X1 {
-					return bucket[i].X1 < bucket[j].X1
-				}
-				return bucket[i].Y1 < bucket[j].Y1
-			})
 			fw.uvarint(uint64(len(bucket)))
 			prevX := 0
 			for _, r := range bucket {

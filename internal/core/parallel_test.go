@@ -1,0 +1,219 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pestrie/internal/matrix"
+)
+
+// TestParallelBuildByteIdentical is the determinism contract of the -j
+// flag: for any matrix and any option combination, the persisted file of a
+// parallel build is byte-for-byte the file of the sequential build. Run
+// under -race this also exercises the candidate-generation fan-out.
+func TestParallelBuildByteIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		np, no := 1+rng.Intn(40), 1+rng.Intn(20)
+		pm := randomPM(rng, np, no, rng.Intn(300))
+		order := randomOrder(rng, no)
+		for _, base := range []Options{
+			{},
+			{Order: order},
+			{DisablePruning: true},
+			{MergeEquivalentObjects: true},
+			{Order: order, DisablePruning: true, MergeEquivalentObjects: true},
+		} {
+			seq, par4 := base, base
+			seq.Workers = 1
+			par4.Workers = 4
+			var a, b bytes.Buffer
+			if _, err := Build(pm, &seq).WriteTo(&a); err != nil {
+				return false
+			}
+			if _, err := Build(pm, &par4).WriteTo(&b); err != nil {
+				return false
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Logf("seed %d opts %+v: -j1 and -j4 files differ (%d vs %d bytes)",
+					seed, base, a.Len(), b.Len())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelDecodeIdentical pins the decode side: LoadWith builds the
+// exact same Index structure for any worker count.
+func TestParallelDecodeIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		np, no := 1+rng.Intn(40), 1+rng.Intn(20)
+		pm := randomPM(rng, np, no, rng.Intn(300))
+		var buf bytes.Buffer
+		if _, err := Build(pm, &Options{Order: randomOrder(rng, no)}).WriteTo(&buf); err != nil {
+			return false
+		}
+		raw := buf.Bytes()
+		seq, err := LoadWith(bytes.NewReader(raw), 1)
+		if err != nil {
+			return false
+		}
+		par8, err := LoadWith(bytes.NewReader(raw), 8)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(seq, par8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndexWithWorkersIdentical covers the in-memory path (Trie.IndexWith)
+// including pruning-off columns, whose dedup logic is the trickiest part.
+func TestIndexWithWorkersIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		np, no := 1+rng.Intn(40), 1+rng.Intn(20)
+		pm := randomPM(rng, np, no, rng.Intn(300))
+		trie := Build(pm, &Options{Order: randomOrder(rng, no), DisablePruning: rng.Intn(2) == 0})
+		return reflect.DeepEqual(trie.IndexWith(1), trie.IndexWith(8))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelBuildMatchesBruteForce double-checks that a parallel build's
+// answers stay correct (not merely self-consistent) on random inputs.
+func TestParallelBuildMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		np, no := 1+rng.Intn(25), 1+rng.Intn(12)
+		pm := randomPM(rng, np, no, rng.Intn(120))
+		trie := Build(pm, &Options{Workers: 4})
+		return indexMatches(trie.Index(), pm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCountingSortByTS pins the counting-sort helper against a reference
+// implementation for both the sequential and the chunked parallel path.
+func TestCountingSortByTS(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		n, numTS := rng.Intn(200), 1+rng.Intn(20)
+		keys := make([]int, n)
+		for i := range keys {
+			keys[i] = rng.Intn(numTS+2) - 2 // includes negatives (unplaced)
+		}
+		wantFlat, wantStart := countingSortByTS(keys, numTS, 1)
+		for _, w := range []int{2, 3, 8} {
+			flat, start := countingSortByTS(keys, numTS, w)
+			if !reflect.DeepEqual(flat, wantFlat) || !reflect.DeepEqual(start, wantStart) {
+				t.Fatalf("workers=%d: flat/start differ from sequential\nkeys=%v", w, keys)
+			}
+		}
+		// Cross-check the sequential result itself.
+		for ts := 0; ts < numTS; ts++ {
+			for _, id := range wantFlat[wantStart[ts]:wantStart[ts+1]] {
+				if keys[id] != ts {
+					t.Fatalf("id %d filed under ts %d but has key %d", id, ts, keys[id])
+				}
+			}
+		}
+	}
+}
+
+// TestDedupColumnDropsExactDuplicates is the regression test for the
+// duplicate-ID bug: dedupColumn used to keep every case-1 entry
+// unconditionally, including exact duplicates, which leaked the same
+// pointer twice into ListAliases/ListPointedBy answers when pruning was
+// off.
+func TestDedupColumnDropsExactDuplicates(t *testing.T) {
+	e := func(lo, hi int32, case1, mirror bool) listEntry {
+		return listEntry{lo: lo, hi: hi, case1: case1, mirror: mirror}
+	}
+	in := []listEntry{
+		e(2, 4, true, false),
+		e(2, 4, true, false), // exact duplicate: must be dropped
+		e(2, 4, true, true),  // same range, mirrored: distinct, kept
+		e(5, 9, false, false),
+		e(5, 9, false, false), // duplicate case-2: dropped (enclosed rule)
+		e(6, 7, true, true),   // nested case-1: kept (carries facts)
+		e(6, 7, false, false), // nested case-2: dropped
+	}
+	want := []listEntry{
+		e(2, 4, true, false),
+		e(2, 4, true, true),
+		e(5, 9, false, false),
+		e(6, 7, true, true),
+	}
+	got := dedupColumn(append([]listEntry(nil), in...))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("dedupColumn = %+v, want %+v", got, want)
+	}
+}
+
+// TestNoDuplicateAnswersWithPruningOff drives the duplicate check through
+// whole builds: with pruning disabled, redundant rectangles survive to the
+// index and every List* answer must still be duplicate-free.
+func TestNoDuplicateAnswersWithPruningOff(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		np, no := 1+rng.Intn(30), 1+rng.Intn(15)
+		pm := randomPM(rng, np, no, rng.Intn(250))
+		ix := Build(pm, &Options{Order: randomOrder(rng, no), DisablePruning: true}).Index()
+		for p := 0; p < np; p++ {
+			if hasDuplicates(ix.ListAliases(p)) || hasDuplicates(ix.ListPointsTo(p)) {
+				return false
+			}
+		}
+		for o := 0; o < no; o++ {
+			if hasDuplicates(ix.ListPointedBy(o)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestListAliasesExactAllocation pins the capacity fix: the result is
+// sized by the counting sweep and filled exactly, so append never
+// reallocates and no slack is retained.
+func TestListAliasesExactAllocation(t *testing.T) {
+	check := func(pm *matrix.PointsTo, opts *Options) {
+		t.Helper()
+		ix := Build(pm, opts).Index()
+		for p := 0; p < pm.NumPointers; p++ {
+			got := ix.ListAliases(p)
+			if got == nil {
+				continue
+			}
+			if cap(got) != len(got) {
+				t.Fatalf("ListAliases(%d): len %d != cap %d (opts %+v)", p, len(got), cap(got), opts)
+			}
+		}
+	}
+	check(paperPM(), nil)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20; i++ {
+		np, no := 1+rng.Intn(30), 1+rng.Intn(15)
+		pm := randomPM(rng, np, no, rng.Intn(250))
+		check(pm, &Options{Order: randomOrder(rng, no)})
+		check(pm, &Options{Order: randomOrder(rng, no), DisablePruning: true})
+	}
+}

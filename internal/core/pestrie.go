@@ -27,6 +27,7 @@ package core
 
 import (
 	"pestrie/internal/matrix"
+	"pestrie/internal/par"
 	"pestrie/internal/segtree"
 )
 
@@ -49,6 +50,16 @@ type Options struct {
 	// creates one origin per object); it is exercised by an ablation
 	// benchmark and is off by default.
 	MergeEquivalentObjects bool
+
+	// Workers sizes the worker pool used by the parallelizable
+	// construction stages (transpose, hub-degree ordering,
+	// equivalence-class hashing, rectangle candidate generation, and the
+	// shape-section sorts in WriteTo). Zero or negative selects
+	// GOMAXPROCS; 1 forces the fully sequential pipeline. The persisted
+	// file is byte-identical for every worker count: candidates are
+	// generated per origin in parallel but the Theorem-2 pruning pass
+	// replays them sequentially in origin order (see generateRectangles).
+	Workers int
 }
 
 // group is a Pestrie node: an equivalent set (ES) of pointers, plus the
@@ -95,6 +106,8 @@ type Trie struct {
 
 	rects []segtree.Rect // retained rectangle labels, generation order
 
+	workers int // pool size used by WriteTo/Index; set by Build
+
 	// Stats for the evaluation harness.
 	TreeEdges    int
 	CrossEdges   int
@@ -104,24 +117,27 @@ type Trie struct {
 }
 
 // Build constructs a Pestrie for pm. A nil opts selects the defaults
-// (hub-degree object order, pruning on, no object merging).
+// (hub-degree object order, pruning on, no object merging, GOMAXPROCS
+// workers). The output is independent of Options.Workers.
 func Build(pm *matrix.PointsTo, opts *Options) *Trie {
 	if opts == nil {
 		opts = &Options{}
 	}
+	workers := par.Workers(opts.Workers)
 	order := opts.Order
 	if order == nil {
-		order = pm.HubOrder()
+		order = pm.HubOrderWith(workers)
 	}
 	validateOrder(order, pm.NumObjects)
 
 	t := &Trie{
 		NumPointers: pm.NumPointers,
 		NumObjects:  pm.NumObjects,
+		workers:     workers,
 	}
-	t.partition(pm, order, opts.MergeEquivalentObjects)
+	t.partition(pm, order, opts.MergeEquivalentObjects, workers)
 	t.assignTimestamps()
-	t.generateRectangles(!opts.DisablePruning)
+	t.generateRectangles(!opts.DisablePruning, workers)
 	return t
 }
 

@@ -3,6 +3,8 @@ package core
 import (
 	"io"
 	"sort"
+
+	"pestrie/internal/par"
 )
 
 // Index is the in-memory query structure of §4, decoded from a persistent
@@ -28,8 +30,12 @@ type Index struct {
 	// ptrsFlat[startOfTS[lo]:startOfTS[hi+1]] — list queries expand
 	// rectangle ranges with slice copies instead of per-timestamp scans.
 	ptrsFlat  []int32
-	startOfTS []int32   // length NumGroups+1
-	objectsAt [][]int32 // timestamp -> object IDs resident there
+	startOfTS []int32 // length NumGroups+1
+
+	// Objects grouped by timestamp in the same flattened layout: the
+	// objects resident at ts are objsFlat[objStart[ts]:objStart[ts+1]].
+	objsFlat []int32
+	objStart []int32 // length NumGroups+1
 
 	// originTS is the sorted list of distinct origin timestamps; PES k
 	// occupies timestamps [originTS[k], pesEnd[k]]. pesOfTS materializes
@@ -42,7 +48,10 @@ type Index struct {
 
 	// ptList[ts] holds, sorted by lo, one entry per rectangle whose X side
 	// (or, for mirrored entries, Y side) covers ts (§4, step 2). Ranges in
-	// a single column are pairwise disjoint.
+	// a single column are pairwise disjoint with Theorem-2 pruning on;
+	// with pruning off, surviving Case-1 ranges can nest (see
+	// dedupColumn), which ListAliases handles by sweeping ranges in
+	// ascending order and clipping overlap.
 	ptList [][]listEntry
 
 	rectCount int
@@ -58,17 +67,29 @@ type listEntry struct {
 // padded to int32 alignment. TestListEntrySize pins this against drift.
 const listEntrySize = 12
 
-// Load decodes a persistent file written by (*Trie).WriteTo into an Index.
-func Load(r io.Reader) (*Index, error) {
+// Load decodes a persistent file written by (*Trie).WriteTo into an Index,
+// building the query structure with GOMAXPROCS workers. The resulting
+// index is identical for every worker count.
+func Load(r io.Reader) (*Index, error) { return LoadWith(r, 0) }
+
+// LoadWith is Load with an explicit decode worker count (<= 0 selects
+// GOMAXPROCS, 1 is fully sequential).
+func LoadWith(r io.Reader, workers int) (*Index, error) {
 	fc, err := readFile(r)
 	if err != nil {
 		return nil, err
 	}
-	return buildIndex(fc), nil
+	return buildIndex(fc, workers), nil
 }
 
 // Index builds the query structure directly, bypassing file serialization.
-func (t *Trie) Index() *Index {
+// It inherits the worker pool size the Trie was built with.
+func (t *Trie) Index() *Index { return t.IndexWith(t.workers) }
+
+// IndexWith is Index with an explicit worker count (<= 0 selects
+// GOMAXPROCS, 1 is fully sequential). The result is identical for every
+// worker count.
+func (t *Trie) IndexWith(workers int) *Index {
 	return buildIndex(&fileContents{
 		numPointers: t.NumPointers,
 		numObjects:  t.NumObjects,
@@ -76,102 +97,200 @@ func (t *Trie) Index() *Index {
 		pointerTS:   t.pointerTS,
 		objectTS:    t.objectTS,
 		rects:       t.rects,
-	})
+	}, workers)
 }
 
-func buildIndex(fc *fileContents) *Index {
+// countingSortByTS groups IDs by their timestamp key with a counting sort,
+// ascending ID within each key: IDs whose key is ts end up in
+// flat[start[ts]:start[ts+1]]. Negative keys are skipped. The parallel
+// version splits the key slice into contiguous chunks, counts per chunk,
+// carves per-chunk cursor ranges out of the shared prefix sums, and lets
+// every chunk fill its disjoint cursor ranges concurrently — chunk w's IDs
+// all precede chunk w+1's, so the output is identical to the sequential
+// fill for any worker count.
+func countingSortByTS(keys []int, numTS, workers int) (flat, start []int32) {
+	start = make([]int32, numTS+1)
+	if workers <= 1 || numTS == 0 {
+		placed := 0
+		for _, ts := range keys {
+			if ts >= 0 {
+				start[ts+1]++
+				placed++
+			}
+		}
+		for ts := 0; ts < numTS; ts++ {
+			start[ts+1] += start[ts]
+		}
+		flat = make([]int32, placed)
+		fill := append([]int32(nil), start[:numTS]...)
+		for id, ts := range keys {
+			if ts >= 0 {
+				flat[fill[ts]] = int32(id)
+				fill[ts]++
+			}
+		}
+		return flat, start
+	}
+	bounds := par.ChunkBounds(len(keys), workers)
+	chunks := len(bounds) - 1
+	counts := make([][]int32, chunks)
+	par.Do(chunks, func(w int) {
+		c := make([]int32, numTS)
+		for _, ts := range keys[bounds[w]:bounds[w+1]] {
+			if ts >= 0 {
+				c[ts]++
+			}
+		}
+		counts[w] = c
+	})
+	for ts := 0; ts < numTS; ts++ {
+		var sum int32
+		for w := 0; w < chunks; w++ {
+			sum += counts[w][ts]
+		}
+		start[ts+1] = sum
+	}
+	for ts := 0; ts < numTS; ts++ {
+		start[ts+1] += start[ts]
+	}
+	// Repurpose counts[w] as chunk w's write cursors: chunk w writes the
+	// ts bucket at start[ts] plus everything earlier chunks put there.
+	for ts := 0; ts < numTS; ts++ {
+		cur := start[ts]
+		for w := 0; w < chunks; w++ {
+			n := counts[w][ts]
+			counts[w][ts] = cur
+			cur += n
+		}
+	}
+	flat = make([]int32, start[numTS])
+	par.Do(chunks, func(w int) {
+		cur := counts[w]
+		for id := bounds[w]; id < bounds[w+1]; id++ {
+			if ts := keys[id]; ts >= 0 {
+				flat[cur[ts]] = int32(id)
+				cur[ts]++
+			}
+		}
+	})
+	return flat, start
+}
+
+// buildIndex assembles the query structure from decoded file contents.
+// Every parallel stage writes disjoint, position-determined output, so the
+// index is identical for any worker count (workers <= 0: GOMAXPROCS).
+func buildIndex(fc *fileContents, workers int) *Index {
+	workers = par.Workers(workers)
+	numGroups := fc.numGroups
 	ix := &Index{
 		NumPointers: fc.numPointers,
 		NumObjects:  fc.numObjects,
-		NumGroups:   fc.numGroups,
+		NumGroups:   numGroups,
 		pointerTS:   fc.pointerTS,
 		objectTS:    fc.objectTS,
-		objectsAt:   make([][]int32, fc.numGroups),
-		ptList:      make([][]listEntry, fc.numGroups),
+		ptList:      make([][]listEntry, numGroups),
 		rectCount:   len(fc.rects),
 	}
-	// Flatten pointers by timestamp with counting sort.
-	ix.startOfTS = make([]int32, fc.numGroups+1)
-	placed := 0
-	for _, ts := range fc.pointerTS {
-		if ts >= 0 {
-			ix.startOfTS[ts+1]++
-			placed++
+	// Flatten pointers and objects by timestamp.
+	ix.ptrsFlat, ix.startOfTS = countingSortByTS(fc.pointerTS, numGroups, workers)
+	ix.objsFlat, ix.objStart = countingSortByTS(fc.objectTS, numGroups, workers)
+
+	// Origin timestamps are exactly the timestamps holding objects; the
+	// scan yields them already sorted. PES intervals tile [0, numGroups):
+	// PES k ends right before PES k+1 starts.
+	for ts := 0; ts < numGroups; ts++ {
+		if ix.objStart[ts+1] > ix.objStart[ts] {
+			ix.originTS = append(ix.originTS, ts)
 		}
 	}
-	for ts := 0; ts < fc.numGroups; ts++ {
-		ix.startOfTS[ts+1] += ix.startOfTS[ts]
-	}
-	ix.ptrsFlat = make([]int32, placed)
-	fill := append([]int32(nil), ix.startOfTS[:fc.numGroups]...)
-	for p, ts := range fc.pointerTS {
-		if ts >= 0 {
-			ix.ptrsFlat[fill[ts]] = int32(p)
-			fill[ts]++
-		}
-	}
-	originSet := make(map[int]bool, fc.numObjects)
-	for o, ts := range fc.objectTS {
-		ix.objectsAt[ts] = append(ix.objectsAt[ts], int32(o))
-		originSet[ts] = true
-	}
-	ix.originTS = make([]int, 0, len(originSet))
-	for ts := range originSet {
-		ix.originTS = append(ix.originTS, ts)
-	}
-	sort.Ints(ix.originTS)
-	// PES intervals tile [0, numGroups): PES k ends right before PES k+1
-	// starts.
 	ix.pesEnd = make([]int, len(ix.originTS))
-	ix.pesOfTS = make([]int32, fc.numGroups)
+	ix.pesOfTS = make([]int32, numGroups)
 	for k := range ix.originTS {
 		if k+1 < len(ix.originTS) {
 			ix.pesEnd[k] = ix.originTS[k+1] - 1
 		} else {
-			ix.pesEnd[k] = fc.numGroups - 1
-		}
-		for ts := ix.originTS[k]; ts <= ix.pesEnd[k]; ts++ {
-			ix.pesOfTS[ts] = int32(k)
+			ix.pesEnd[k] = numGroups - 1
 		}
 	}
-	for _, r := range fc.rects {
-		for a := r.X1; a <= r.X2; a++ {
-			ix.ptList[a] = append(ix.ptList[a],
-				listEntry{lo: int32(r.Y1), hi: int32(r.Y2), case1: r.Case1})
-		}
-		for b := r.Y1; b <= r.Y2; b++ {
-			ix.ptList[b] = append(ix.ptList[b],
-				listEntry{lo: int32(r.X1), hi: int32(r.X2), case1: r.Case1, mirror: true})
-		}
-	}
-	for ts := range ix.ptList {
-		l := ix.ptList[ts]
-		sort.Slice(l, func(i, j int) bool {
-			if l[i].lo != l[j].lo {
-				return l[i].lo < l[j].lo
+	par.Chunks(len(ix.originTS), workers, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			for ts := ix.originTS[k]; ts <= ix.pesEnd[k]; ts++ {
+				ix.pesOfTS[ts] = int32(k)
 			}
-			if l[i].hi != l[j].hi {
-				return l[i].hi > l[j].hi // widest first so dedup sees the encloser
+		}
+	})
+
+	// Column lists: each worker owns a contiguous timestamp shard and
+	// scans the rectangle stream for entries landing in it, so per-column
+	// append order matches the sequential rectangle order exactly.
+	par.Chunks(numGroups, workers, func(shardLo, shardHi int) {
+		for _, r := range fc.rects {
+			for a := maxInt(r.X1, shardLo); a <= minInt(r.X2, shardHi-1); a++ {
+				ix.ptList[a] = append(ix.ptList[a],
+					listEntry{lo: int32(r.Y1), hi: int32(r.Y2), case1: r.Case1})
 			}
-			return l[i].case1 && !l[j].case1 // case-1 first among equals
-		})
-		ix.ptList[ts] = dedupColumn(l)
-	}
+			for b := maxInt(r.Y1, shardLo); b <= minInt(r.Y2, shardHi-1); b++ {
+				ix.ptList[b] = append(ix.ptList[b],
+					listEntry{lo: int32(r.X1), hi: int32(r.X2), case1: r.Case1, mirror: true})
+			}
+		}
+	})
+	par.Chunks(numGroups, workers, func(lo, hi int) {
+		for ts := lo; ts < hi; ts++ {
+			l := ix.ptList[ts]
+			sort.Slice(l, func(i, j int) bool {
+				if l[i].lo != l[j].lo {
+					return l[i].lo < l[j].lo
+				}
+				if l[i].hi != l[j].hi {
+					return l[i].hi > l[j].hi // widest first so dedup sees the encloser
+				}
+				if l[i].case1 != l[j].case1 {
+					return l[i].case1 // case-1 first among equals
+				}
+				// Plain orientation before mirrored: a total order, so the
+				// sorted column is unique however it was produced.
+				return !l[i].mirror && l[j].mirror
+			})
+			ix.ptList[ts] = dedupColumn(l)
+		}
+	})
 	return ix
 }
 
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // dedupColumn removes entries enclosed by an earlier entry of the same
-// column. With Theorem-2 pruning on nothing is ever dropped (ranges are
-// pairwise disjoint); with pruning disabled the redundant rectangles are
-// nested inside retained ones, and by Theorem 2 nested-or-disjoint is the
-// only possibility, so "hi does not extend past the running maximum" is
-// exactly enclosure. Case-1 entries are never enclosed (their PES side
-// cannot fit inside any other interval) and are kept unconditionally so
-// points-to facts survive.
+// column, plus exact duplicates. With Theorem-2 pruning on nothing is ever
+// dropped (ranges are pairwise disjoint); with pruning disabled the
+// redundant rectangles are nested inside retained ones, and by Theorem 2
+// nested-or-disjoint is the only possibility, so "hi does not extend past
+// the running maximum" is exactly enclosure. Case-1 entries are kept even
+// when enclosed — they carry points-to facts that ListPointsTo and
+// ListPointedBy filter by orientation, which a Case-2 or differently
+// oriented encloser cannot stand in for — but an exact duplicate
+// (identical range, case, and orientation) adds no information and
+// previously leaked duplicate IDs into the List* answers, so those are
+// dropped unconditionally.
 func dedupColumn(l []listEntry) []listEntry {
 	out := l[:0]
 	maxHi := int32(-1)
 	for _, e := range l {
+		if len(out) > 0 && e == out[len(out)-1] {
+			continue // exact duplicate: the sort made it adjacent
+		}
 		if e.hi <= maxHi && !e.case1 {
 			continue
 		}
@@ -192,8 +311,9 @@ func (ix *Index) pesOf(ts int) int {
 }
 
 // entryCovering binary-searches the column's entries for one whose range
-// contains y. Ranges in a column are pairwise disjoint, so at most one
-// matches and the predecessor-by-lo is the only candidate.
+// contains y. Ranges above the column are pairwise disjoint (nested ones
+// are dropped by dedupColumn), so at most one matches and the
+// predecessor-by-lo is the only candidate.
 func entryCovering(list []listEntry, y int32) (listEntry, bool) {
 	i := sort.Search(len(list), func(i int) bool { return list[i].lo > y })
 	if i == 0 {
@@ -229,36 +349,70 @@ func (ix *Index) IsAlias(p, q int) bool {
 }
 
 // ListAliases returns the pointers aliased to p (excluding p itself), in
-// unspecified order.
+// unspecified order and with no duplicates. The result is allocated
+// exactly: len(result) == cap(result).
 func (ix *Index) ListAliases(p int) []int {
 	ts := ix.tsOfPointer(p)
 	if ts < 0 {
 		return nil
 	}
 	// Internal pairs: every pointer in p's PES; cross pairs: ranges of the
-	// rectangles crossing column ts.
+	// rectangles crossing column ts. The PES interval and the column's
+	// entry ranges are visited in ascending-lo order, clipping each range
+	// against the timestamps already visited — so nested or overlapping
+	// ranges (possible with pruning off) contribute every timestamp
+	// exactly once, and the two passes (count, then fill) agree exactly.
 	k := ix.pesOf(ts)
-	n := len(ix.ptrsInRange(ix.originTS[k], ix.pesEnd[k]))
-	for _, e := range ix.ptList[ts] {
-		n += len(ix.ptrsInRange(int(e.lo), int(e.hi)))
-	}
-	out := make([]int, 0, n)
-	for _, q := range ix.ptrsInRange(ix.originTS[k], ix.pesEnd[k]) {
-		if int(q) != p {
-			out = append(out, int(q))
+	pesLo, pesHi := ix.originTS[k], ix.pesEnd[k]
+	list := ix.ptList[ts]
+	sweep := func(visit func(lo, hi int)) {
+		prevHi := -1
+		emit := func(lo, hi int) {
+			if hi <= prevHi {
+				return // fully covered by an earlier range
+			}
+			if lo <= prevHi {
+				lo = prevHi + 1
+			}
+			visit(lo, hi)
+			prevHi = hi
+		}
+		pesDone := false
+		for _, e := range list {
+			if !pesDone && pesLo <= int(e.lo) {
+				emit(pesLo, pesHi)
+				pesDone = true
+			}
+			emit(int(e.lo), int(e.hi))
+		}
+		if !pesDone {
+			emit(pesLo, pesHi)
 		}
 	}
-	for _, e := range ix.ptList[ts] {
-		for _, q := range ix.ptrsInRange(int(e.lo), int(e.hi)) {
-			out = append(out, int(q))
+	n := 0
+	sweep(func(lo, hi int) { n += int(ix.startOfTS[hi+1] - ix.startOfTS[lo]) })
+	// p itself is always placed inside its PES interval and no entry range
+	// contains its own column, so the sweep visits p exactly once: the
+	// output holds exactly n-1 IDs.
+	out := make([]int, 0, n-1)
+	sweep(func(lo, hi int) {
+		for _, q := range ix.ptrsFlat[ix.startOfTS[lo]:ix.startOfTS[hi+1]] {
+			if int(q) != p {
+				out = append(out, int(q))
+			}
 		}
-	}
+	})
 	return out
 }
 
 // ptrsInRange returns the pointers whose timestamps fall in [lo, hi].
 func (ix *Index) ptrsInRange(lo, hi int) []int32 {
 	return ix.ptrsFlat[ix.startOfTS[lo]:ix.startOfTS[hi+1]]
+}
+
+// objsAt returns the objects resident at timestamp ts.
+func (ix *Index) objsAt(ts int) []int32 {
+	return ix.objsFlat[ix.objStart[ts]:ix.objStart[ts+1]]
 }
 
 // ListPointsTo returns the objects pointer p may point to, in unspecified
@@ -271,14 +425,14 @@ func (ix *Index) ListPointsTo(p int) []int {
 	var out []int
 	// p points to the object(s) of its own PES origin.
 	k := ix.pesOf(ts)
-	for _, o := range ix.objectsAt[ix.originTS[k]] {
+	for _, o := range ix.objsAt(ix.originTS[k]) {
 		out = append(out, int(o))
 	}
 	// Case-1 rectangles whose X side covers ts: their Y1 is the timestamp
 	// of an origin whose object(s) p also points to.
 	for _, e := range ix.ptList[ts] {
 		if e.case1 && !e.mirror {
-			for _, o := range ix.objectsAt[e.lo] {
+			for _, o := range ix.objsAt(int(e.lo)) {
 				out = append(out, int(o))
 			}
 		}
@@ -332,9 +486,7 @@ func (ix *Index) MemoryFootprint() int64 {
 		n += int64(len(l))*listEntrySize + 24
 	}
 	n += int64(len(ix.ptrsFlat)+len(ix.startOfTS)) * 4
-	for _, l := range ix.objectsAt {
-		n += int64(len(l))*4 + 24
-	}
+	n += int64(len(ix.objsFlat)+len(ix.objStart)) * 4
 	return n
 }
 

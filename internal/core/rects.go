@@ -1,6 +1,9 @@
 package core
 
-import "pestrie/internal/segtree"
+import (
+	"pestrie/internal/par"
+	"pestrie/internal/segtree"
+)
 
 // generateRectangles implements §3.4.1: visiting origins in object order,
 // pair the ξ-reachable subtree intervals of each origin's cross edges with
@@ -8,7 +11,16 @@ import "pestrie/internal/segtree"
 // discard any rectangle whose lower-left corner is covered by a previously
 // retained rectangle. By Theorem 2 a covered corner implies full enclosure,
 // so the discard is lossless.
-func (t *Trie) generateRectangles(prune bool) {
+//
+// The stage is split so it parallelizes without changing the output:
+// candidate generation is independent per origin (subtree intervals and
+// Case-1/Case-2 pairing read only the finished partition forest), so it
+// fans out across the worker pool; the Theorem-2 pruning pass — whose
+// enclosure index is inherently order-dependent — then replays the
+// candidates sequentially in the exact origin order the sequential build
+// uses. Retained rectangles, and therefore the persisted file, are
+// byte-identical for every worker count.
+func (t *Trie) generateRectangles(prune bool, workers int) {
 	if t.NumGroups == 0 {
 		return
 	}
@@ -16,9 +28,58 @@ func (t *Trie) generateRectangles(prune bool) {
 	if prune {
 		index = segtree.NewTree(t.NumGroups)
 	}
+	retain := func(cands []segtree.Rect) {
+		for _, r := range cands {
+			t.Candidates++
+			if prune {
+				if index.Covers(r.X1, r.Y1) {
+					t.Pruned++
+					continue
+				}
+				index.Insert(r)
+			}
+			t.rects = append(t.rects, r)
+		}
+	}
+	if workers <= 1 {
+		// Sequential: stream one origin at a time, keeping peak memory at
+		// the largest single origin's candidate list.
+		for idx := range t.origins {
+			retain(t.originCandidates(idx))
+		}
+		return
+	}
+	// Parallel: materialize every origin's candidates (memory is bounded
+	// by the Candidates stat), then replay them in origin order.
+	candidates := make([][]segtree.Rect, len(t.origins))
+	par.Chunks(len(t.origins), workers, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			candidates[idx] = t.originCandidates(idx)
+		}
+	})
+	for _, cands := range candidates {
+		retain(cands)
+	}
+}
 
-	consider := func(a, b interval, case1 bool) {
-		t.Candidates++
+// originCandidates enumerates the rectangle candidates of one origin in
+// the canonical order: Case-1 per cross edge first, then Case-2 pairs in
+// (i, j) order. This single enumeration backs both the sequential and the
+// parallel build, which is what pins their candidate streams to each
+// other.
+func (t *Trie) originCandidates(idx int) []segtree.Rect {
+	edges := t.cross[idx]
+	if len(edges) == 0 {
+		return nil
+	}
+	org := t.origins[idx]
+	pes := interval{org.pre, org.end}
+	subs := make([]interval, len(edges))
+	for i, e := range edges {
+		subs[i] = subtreeInterval(e)
+	}
+	out := make([]segtree.Rect, 0, len(edges))
+	add := func(a, b interval, case1 bool) {
 		// Canonical orientation: smaller timestamps on the X side. The
 		// construction already guarantees a and b are disjoint, and that
 		// PES sides are the larger (targets of cross edges were created
@@ -26,45 +87,26 @@ func (t *Trie) generateRectangles(prune bool) {
 		if a.lo > b.lo {
 			a, b = b, a
 		}
-		r := segtree.Rect{X1: a.lo, X2: a.hi, Y1: b.lo, Y2: b.hi, Case1: case1}
-		if prune {
-			if index.Covers(r.X1, r.Y1) {
-				t.Pruned++
-				return
-			}
-			index.Insert(r)
-		}
-		t.rects = append(t.rects, r)
+		out = append(out, segtree.Rect{X1: a.lo, X2: a.hi, Y1: b.lo, Y2: b.hi, Case1: case1})
 	}
-
-	for idx, org := range t.origins {
-		edges := t.cross[idx]
-		if len(edges) == 0 {
-			continue
-		}
-		pes := interval{org.pre, org.end}
-		subs := make([]interval, len(edges))
-		for i, e := range edges {
-			subs[i] = subtreeInterval(e)
-		}
-		// Case-1: each cross-edge subtree against the PES interval. These
-		// rectangles carry the points-to facts (Y1 is the origin's
-		// timestamp) and are provably never enclosed, but they still feed
-		// the enclosure index so later Case-2 duplicates are pruned.
-		for _, s := range subs {
-			consider(s, pes, true)
-		}
-		// Case-2: cross-edge subtrees pairwise. Two subtrees inside the
-		// same PES form internal pairs (answered by PES identifier
-		// comparison, §3.2), so only cross-PES pairs need rectangles —
-		// this is why Figure 4 has no <1,1,3,3> rectangle for p3/p1.
-		for i := 0; i < len(subs); i++ {
-			for j := i + 1; j < len(subs); j++ {
-				if edges[i].target.pes == edges[j].target.pes {
-					continue
-				}
-				consider(subs[i], subs[j], false)
+	// Case-1: each cross-edge subtree against the PES interval. These
+	// rectangles carry the points-to facts (Y1 is the origin's timestamp)
+	// and are provably never enclosed, but they still feed the enclosure
+	// index so later Case-2 duplicates are pruned.
+	for _, s := range subs {
+		add(s, pes, true)
+	}
+	// Case-2: cross-edge subtrees pairwise. Two subtrees inside the same
+	// PES form internal pairs (answered by PES identifier comparison,
+	// §3.2), so only cross-PES pairs need rectangles — this is why
+	// Figure 4 has no <1,1,3,3> rectangle for p3/p1.
+	for i := 0; i < len(subs); i++ {
+		for j := i + 1; j < len(subs); j++ {
+			if edges[i].target.pes == edges[j].target.pes {
+				continue
 			}
+			add(subs[i], subs[j], false)
 		}
 	}
+	return out
 }

@@ -1,0 +1,127 @@
+package exper
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"pestrie/internal/core"
+	"pestrie/internal/par"
+)
+
+// BuildBenchRow measures the parallel construction/decode pipeline against
+// the sequential one for one benchmark: wall-clock times for Build and for
+// decoding the persisted file with -j 1 versus -j N, plus the byte-identity
+// check the pipeline guarantees. Serialized to BENCH_build.json.
+type BuildBenchRow struct {
+	Name     string  `json:"name"`
+	Scale    float64 `json:"scale"`
+	Workers  int     `json:"workers"` // resolved pool size of the parallel runs
+	Pointers int     `json:"pointers"`
+	Objects  int     `json:"objects"`
+	Facts    int     `json:"facts"`
+	PesBytes int64   `json:"pes_bytes"`
+
+	BuildSerialNS   int64   `json:"build_serial_ns"`
+	BuildParallelNS int64   `json:"build_parallel_ns"`
+	BuildSpeedup    float64 `json:"build_speedup"`
+
+	DecodeSerialNS   int64   `json:"decode_serial_ns"`
+	DecodeParallelNS int64   `json:"decode_parallel_ns"`
+	DecodeSpeedup    float64 `json:"decode_speedup"`
+
+	ByteIdentical bool `json:"byte_identical"` // -j1 and -jN .pes files compared
+}
+
+// BuildBench runs the construction/decode speedup experiment: every preset
+// is built and decoded once sequentially and once over the worker pool,
+// and the two persisted files are compared byte for byte.
+func BuildBench(opts *Options) []BuildBenchRow {
+	var rows []BuildBenchRow
+	for _, w := range buildWorkloads(opts) {
+		rows = append(rows, buildBenchOne(w))
+	}
+	return rows
+}
+
+func buildBenchOne(w workload) BuildBenchRow {
+	row := BuildBenchRow{
+		Name:     w.preset.Name,
+		Scale:    w.scale,
+		Workers:  par.Workers(w.workers),
+		Pointers: w.pm.NumPointers,
+		Objects:  w.pm.NumObjects,
+		Facts:    w.pm.Edges(),
+	}
+
+	start := time.Now()
+	serial := core.Build(w.pm, &core.Options{Workers: 1})
+	row.BuildSerialNS = time.Since(start).Nanoseconds()
+
+	start = time.Now()
+	parallel := core.Build(w.pm, &core.Options{Workers: w.workers})
+	row.BuildParallelNS = time.Since(start).Nanoseconds()
+	row.BuildSpeedup = nsRatio(row.BuildSerialNS, row.BuildParallelNS)
+
+	var serialFile, parallelFile bytes.Buffer
+	if _, err := serial.WriteTo(&serialFile); err != nil {
+		panic(err)
+	}
+	if _, err := parallel.WriteTo(&parallelFile); err != nil {
+		panic(err)
+	}
+	row.PesBytes = int64(serialFile.Len())
+	row.ByteIdentical = bytes.Equal(serialFile.Bytes(), parallelFile.Bytes())
+	if !row.ByteIdentical {
+		panic(fmt.Sprintf("%s: -j1 and -j%d persisted files differ", w.preset.Name, row.Workers))
+	}
+
+	raw := serialFile.Bytes()
+	start = time.Now()
+	if _, err := core.LoadWith(bytes.NewReader(raw), 1); err != nil {
+		panic(err)
+	}
+	row.DecodeSerialNS = time.Since(start).Nanoseconds()
+
+	start = time.Now()
+	if _, err := core.LoadWith(bytes.NewReader(raw), w.workers); err != nil {
+		panic(err)
+	}
+	row.DecodeParallelNS = time.Since(start).Nanoseconds()
+	row.DecodeSpeedup = nsRatio(row.DecodeSerialNS, row.DecodeParallelNS)
+	return row
+}
+
+func nsRatio(num, den int64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// RenderBuildBench renders BuildBench rows as text.
+func RenderBuildBench(rows []BuildBenchRow) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "Build bench: construction and decode, -j1 vs -jN (GOMAXPROCS=%d)\n",
+		runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&b, "%-12s %4s | %10s %10s %7s | %10s %10s %7s | %s\n",
+		"program", "j", "build-j1", "build-jN", "speedup", "dec-j1", "dec-jN", "speedup", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %4d | %8.1fms %8.1fms %6.2f× | %8.1fms %8.1fms %6.2f× | %v\n",
+			r.Name, r.Workers,
+			float64(r.BuildSerialNS)/1e6, float64(r.BuildParallelNS)/1e6, r.BuildSpeedup,
+			float64(r.DecodeSerialNS)/1e6, float64(r.DecodeParallelNS)/1e6, r.DecodeSpeedup,
+			r.ByteIdentical)
+	}
+	return b.String()
+}
+
+// WriteBuildBenchJSON writes BuildBench rows as indented JSON.
+func WriteBuildBenchJSON(w io.Writer, rows []BuildBenchRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

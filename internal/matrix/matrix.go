@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"pestrie/internal/bitmap"
+	"pestrie/internal/par"
 )
 
 // PointsTo is a points-to matrix over NumPointers pointers and NumObjects
@@ -99,17 +100,68 @@ func (pm *PointsTo) Clone() *PointsTo {
 
 // Transpose computes the pointed-by matrix PMT: rows index objects, and the
 // members of row o are the pointers that may point to o.
-func (pm *PointsTo) Transpose() *PointsTo {
-	out := New(pm.NumObjects, pm.NumPointers)
-	for p, r := range pm.rows {
-		if r == nil {
-			continue
+func (pm *PointsTo) Transpose() *PointsTo { return pm.TransposeWith(1) }
+
+// TransposeWith is Transpose fanned out over a worker pool (workers <= 0
+// selects GOMAXPROCS, 1 is sequential). The result is identical to the
+// sequential transpose for any worker count: workers build partial
+// transposes over disjoint pointer chunks, then disjoint object shards
+// merge them in chunk order, and bitmap.Sparse stores sets canonically, so
+// the merged rows are structurally equal no matter how they were built.
+func (pm *PointsTo) TransposeWith(workers int) *PointsTo {
+	workers = par.Workers(workers)
+	if workers <= 1 || pm.NumPointers == 0 {
+		out := New(pm.NumObjects, pm.NumPointers)
+		for p, r := range pm.rows {
+			if r == nil {
+				continue
+			}
+			r.ForEach(func(o int) bool {
+				out.Add(o, p)
+				return true
+			})
 		}
-		r.ForEach(func(o int) bool {
-			out.Add(o, p)
-			return true
-		})
+		return out
 	}
+	// Phase 1: one partial transpose per contiguous pointer chunk. Each
+	// worker owns its partial outright, so no locks are needed.
+	bounds := par.ChunkBounds(pm.NumPointers, workers)
+	parts := make([]*PointsTo, len(bounds)-1)
+	par.Do(len(parts), func(w int) {
+		part := New(pm.NumObjects, pm.NumPointers)
+		for p := bounds[w]; p < bounds[w+1]; p++ {
+			r := pm.rows[p]
+			if r == nil {
+				continue
+			}
+			r.ForEach(func(o int) bool {
+				part.Add(o, p)
+				return true
+			})
+		}
+		parts[w] = part
+	})
+	// Phase 2: merge per object shard. Pointer IDs in chunk w all precede
+	// those in chunk w+1, but the union is a set either way — Or yields the
+	// same canonical block list regardless of merge order.
+	out := New(pm.NumObjects, pm.NumPointers)
+	par.Chunks(pm.NumObjects, workers, func(lo, hi int) {
+		for o := lo; o < hi; o++ {
+			var row *bitmap.Sparse
+			for _, part := range parts {
+				pr := part.rows[o]
+				if pr == nil || pr.Empty() {
+					continue
+				}
+				if row == nil {
+					row = pr // take ownership of the first partial row
+				} else {
+					row.Or(pr)
+				}
+			}
+			out.rows[o] = row
+		}
+	})
 	return out
 }
 
@@ -145,24 +197,34 @@ func (pm *PointsTo) AliasMatrixWith(pmt *PointsTo) *PointsTo {
 //
 // which is the two-round HITS hub score over the points-to bipartite graph.
 // The precomputed transpose avoids rescanning PM per object.
-func (pm *PointsTo) HubDegrees() []float64 {
+func (pm *PointsTo) HubDegrees() []float64 { return pm.HubDegreesWith(1) }
+
+// HubDegreesWith is HubDegrees over a worker pool (workers <= 0 selects
+// GOMAXPROCS, 1 is sequential). Per-object sums accumulate in the same
+// ascending-pointer order as the sequential loop, so the floating-point
+// results are bit-identical for any worker count.
+func (pm *PointsTo) HubDegreesWith(workers int) []float64 {
 	sizes := make([]int, pm.NumPointers)
-	for p, r := range pm.rows {
-		if r != nil {
-			sizes[p] = r.Count()
+	par.Chunks(pm.NumPointers, par.Workers(workers), func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			if r := pm.rows[p]; r != nil {
+				sizes[p] = r.Count()
+			}
 		}
-	}
-	pmt := pm.Transpose()
+	})
+	pmt := pm.TransposeWith(workers)
 	out := make([]float64, pm.NumObjects)
-	for o := 0; o < pm.NumObjects; o++ {
-		var sum float64
-		pmt.Row(o).ForEach(func(p int) bool {
-			s := float64(sizes[p])
-			sum += s * s
-			return true
-		})
-		out[o] = math.Sqrt(sum)
-	}
+	par.Chunks(pm.NumObjects, par.Workers(workers), func(lo, hi int) {
+		for o := lo; o < hi; o++ {
+			var sum float64
+			pmt.Row(o).ForEach(func(p int) bool {
+				s := float64(sizes[p])
+				sum += s * s
+				return true
+			})
+			out[o] = math.Sqrt(sum)
+		}
+	})
 	return out
 }
 
@@ -190,6 +252,12 @@ func (pm *PointsTo) HubOrder() []int {
 	return OrderByDegree(pm.HubDegrees())
 }
 
+// HubOrderWith is HubOrder with the degree computation fanned out over a
+// worker pool; the resulting order is identical for any worker count.
+func (pm *PointsTo) HubOrderWith(workers int) []int {
+	return OrderByDegree(pm.HubDegreesWith(workers))
+}
+
 // OrderByDegree sorts object IDs by descending degree, breaking ties by ID.
 func OrderByDegree(deg []float64) []int {
 	order := make([]int, len(deg))
@@ -210,7 +278,14 @@ func OrderByDegree(deg []float64) []int {
 // It returns, for each pointer, the ID of its class, plus the number of
 // classes. Pointers with empty points-to sets share class 0 if any exist.
 func (pm *PointsTo) EquivalenceClasses() (classOf []int, numClasses int) {
-	return classesOf(pm.rows, pm.NumPointers)
+	return classesOf(pm.rows, pm.NumPointers, 1)
+}
+
+// EquivalenceClassesWith is EquivalenceClasses with the per-row content
+// hashing fanned out over a worker pool; class assignment itself stays
+// sequential, so class IDs are identical for any worker count.
+func (pm *PointsTo) EquivalenceClassesWith(workers int) (classOf []int, numClasses int) {
+	return classesOf(pm.rows, pm.NumPointers, workers)
 }
 
 // ObjectEquivalenceClasses groups objects pointed to by identical pointer
@@ -218,10 +293,23 @@ func (pm *PointsTo) EquivalenceClasses() (classOf []int, numClasses int) {
 // the same set of pointers").
 func (pm *PointsTo) ObjectEquivalenceClasses() (classOf []int, numClasses int) {
 	pmt := pm.Transpose()
-	return classesOf(pmt.rows, pmt.NumPointers)
+	return classesOf(pmt.rows, pmt.NumPointers, 1)
 }
 
-func classesOf(rows []*bitmap.Sparse, n int) ([]int, int) {
+func classesOf(rows []*bitmap.Sparse, n, workers int) ([]int, int) {
+	// Hashing scans every block of every row — the dominant cost — and is
+	// side-effect free, so it parallelizes cleanly; the bucket walk below
+	// keeps the sequential first-seen class numbering.
+	hashes := make([]uint64, n)
+	par.Chunks(n, par.Workers(workers), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := rows[i]
+			if row == nil {
+				row = emptyRow
+			}
+			hashes[i] = row.Hash()
+		}
+	})
 	classOf := make([]int, n)
 	buckets := make(map[uint64][]int) // hash -> representative row indices
 	next := 0
@@ -230,7 +318,7 @@ func classesOf(rows []*bitmap.Sparse, n int) ([]int, int) {
 		if row == nil {
 			row = emptyRow
 		}
-		h := row.Hash()
+		h := hashes[i]
 		found := -1
 		for _, rep := range buckets[h] {
 			repRow := rows[rep]

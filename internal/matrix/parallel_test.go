@@ -1,0 +1,61 @@
+package matrix
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randomMatrix(rng *rand.Rand, np, no, edges int) *PointsTo {
+	pm := New(np, no)
+	for i := 0; i < edges; i++ {
+		pm.Add(rng.Intn(np), rng.Intn(no))
+	}
+	return pm
+}
+
+// TestParallelStagesMatchSequential pins every *With variant against its
+// sequential counterpart: the worker count must never change a result.
+func TestParallelStagesMatchSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 25; iter++ {
+		np, no := 1+rng.Intn(60), 1+rng.Intn(30)
+		pm := randomMatrix(rng, np, no, rng.Intn(400))
+		wantT := pm.Transpose()
+		wantDeg := pm.HubDegrees()
+		wantOrder := pm.HubOrder()
+		wantClass, wantN := pm.EquivalenceClasses()
+		for _, w := range []int{2, 3, 8} {
+			if !wantT.Equal(pm.TransposeWith(w)) {
+				t.Fatalf("TransposeWith(%d) differs (np=%d no=%d)", w, np, no)
+			}
+			if !reflect.DeepEqual(wantDeg, pm.HubDegreesWith(w)) {
+				t.Fatalf("HubDegreesWith(%d) not bit-identical", w)
+			}
+			if !reflect.DeepEqual(wantOrder, pm.HubOrderWith(w)) {
+				t.Fatalf("HubOrderWith(%d) differs", w)
+			}
+			gotClass, gotN := pm.EquivalenceClassesWith(w)
+			if gotN != wantN || !reflect.DeepEqual(gotClass, wantClass) {
+				t.Fatalf("EquivalenceClassesWith(%d) differs", w)
+			}
+		}
+	}
+}
+
+// TestTransposeWithEmptyAndEdgeCases covers degenerate shapes where chunking
+// could misbehave: no pointers, no objects, fewer rows than workers.
+func TestTransposeWithEmptyAndEdgeCases(t *testing.T) {
+	for _, dims := range [][2]int{{0, 0}, {0, 5}, {5, 0}, {1, 1}, {2, 7}} {
+		pm := New(dims[0], dims[1])
+		if dims[0] > 0 && dims[1] > 0 {
+			pm.Add(0, 0)
+		}
+		want := pm.Transpose()
+		for _, w := range []int{2, 16} {
+			if !want.Equal(pm.TransposeWith(w)) {
+				t.Fatalf("TransposeWith(%d) differs for dims %v", w, dims)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestDoRunsEveryWorker(t *testing.T) {
+	for _, workers := range []int{1, 2, 5} {
+		seen := make([]atomic.Int32, workers)
+		Do(workers, func(w int) { seen[w].Add(1) })
+		for w := range seen {
+			if seen[w].Load() != 1 {
+				t.Fatalf("workers=%d: worker %d ran %d times", workers, w, seen[w].Load())
+			}
+		}
+	}
+}
+
+func TestChunksCoverRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 101} {
+		for _, workers := range []int{1, 2, 3, 8, 200} {
+			hits := make([]atomic.Int32, n)
+			Chunks(n, workers, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("n=%d workers=%d: bad chunk [%d,%d)", n, workers, lo, hi)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, hits[i].Load())
+				}
+			}
+		}
+	}
+}
+
+func TestChunkBoundsMatchChunks(t *testing.T) {
+	for _, n := range []int{1, 7, 100, 101} {
+		for _, workers := range []int{1, 2, 3, 8} {
+			bounds := ChunkBounds(n, workers)
+			var got [][2]int
+			for i := 0; i+1 < len(bounds); i++ {
+				got = append(got, [2]int{bounds[i], bounds[i+1]})
+			}
+			if got[0][0] != 0 || got[len(got)-1][1] != n {
+				t.Fatalf("n=%d workers=%d: bounds %v do not cover [0,%d)", n, workers, bounds, n)
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i][0] != got[i-1][1] {
+					t.Fatalf("n=%d workers=%d: bounds %v not contiguous", n, workers, bounds)
+				}
+			}
+		}
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	Chunks(100, 4, func(lo, hi int) {
+		if lo == 0 {
+			panic("boom")
+		}
+	})
+	t.Fatal("unreachable")
+}

@@ -47,8 +47,13 @@ func (h *Histogram) Observe(d time.Duration) {
 
 // HistogramSnapshot is a point-in-time summary of a Histogram, shaped for
 // JSON stats endpoints. Quantiles are upper bounds of the power-of-two
-// bucket containing the quantile, so they overestimate by at most 2×;
-// MaxNS is exact (the slowest single observation, e.g. a cold decode).
+// bucket containing the quantile (nearest-rank, ceiling semantics: Pq is
+// the bucket of the ceil(q·total)-th smallest observation), so they
+// overestimate by at most 2×. When a quantile lands in the top bucket —
+// which is clamped, so its nominal 2^39 upper bound says nothing about the
+// actual latency — the exact observed maximum is reported instead of the
+// bucket bound. MaxNS is always exact (the slowest single observation,
+// e.g. a cold decode).
 type HistogramSnapshot struct {
 	Count  int64 `json:"count"`
 	MeanNS int64 `json:"mean_ns"`
@@ -72,27 +77,51 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	s.MeanNS = h.sumNS.Load() / total
 	s.MaxNS = h.maxNS.Load()
-	s.P50NS = quantile(counts[:], total, 0.50)
-	s.P90NS = quantile(counts[:], total, 0.90)
-	s.P99NS = quantile(counts[:], total, 0.99)
+	s.P50NS = h.quantile(counts[:], total, 0.50, s.MaxNS)
+	s.P90NS = h.quantile(counts[:], total, 0.90, s.MaxNS)
+	s.P99NS = h.quantile(counts[:], total, 0.99, s.MaxNS)
 	return s
 }
 
-// quantile returns the upper bound of the bucket holding the q-quantile.
-func quantile(counts []int64, total int64, q float64) int64 {
-	rank := int64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
+// quantile returns the upper bound of the bucket holding the q-quantile
+// under nearest-rank (ceiling) semantics: the value reported is an upper
+// bound for the ceil(q·total)-th smallest observation. The previous floor
+// semantics skipped ahead one observation — most visibly, the P50 of two
+// observations in different buckets reported the larger one's bucket
+// instead of the median convention's smaller. If the quantile falls in the
+// clamped top bucket, whose nominal bound is meaningless (it absorbs
+// everything from ~9 minutes up), the exact observed maximum is returned.
+func (h *Histogram) quantile(counts []int64, total int64, q float64, maxNS int64) int64 {
+	rank := int64(ceilMul(q, total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
 	}
 	cum := int64(0)
 	for i, c := range counts {
 		cum += c
-		if cum > rank {
+		if cum >= rank {
 			if i == 0 {
 				return 0
+			}
+			if i == histBuckets-1 {
+				return maxNS // saturated bucket: bound is a lie, max is exact
 			}
 			return 1 << uint(i)
 		}
 	}
-	return 1 << (histBuckets - 1)
+	return maxNS
+}
+
+// ceilMul computes ceil(q·n) without float rounding surprises for the
+// common exact cases (q·n integral).
+func ceilMul(q float64, n int64) int64 {
+	prod := q * float64(n)
+	r := int64(prod)
+	if float64(r) < prod {
+		r++
+	}
+	return r
 }

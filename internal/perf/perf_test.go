@@ -91,6 +91,63 @@ func TestHistogramSnapshot(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileCeilingRank(t *testing.T) {
+	// Two observations in different buckets: under nearest-rank (ceiling)
+	// semantics the median is the 1st smallest observation, so P50 must
+	// summarize the fast bucket. The old floor-rank computation skipped to
+	// the slow one.
+	var h Histogram
+	h.Observe(100 * time.Nanosecond) // bucket bound 128
+	h.Observe(time.Millisecond)
+	s := h.Snapshot()
+	if s.P50NS != 128 {
+		t.Fatalf("p50 of {100ns, 1ms} = %dns, want 128 (bucket bound of the smaller)", s.P50NS)
+	}
+	if s.P90NS < 1_000_000 {
+		t.Fatalf("p90 of {100ns, 1ms} = %dns, want the slow bucket", s.P90NS)
+	}
+
+	// A single observation: every quantile is that observation.
+	var h1 Histogram
+	h1.Observe(100 * time.Nanosecond)
+	if s := h1.Snapshot(); s.P50NS != 128 || s.P99NS != 128 {
+		t.Fatalf("singleton quantiles = %+v, want all 128", s)
+	}
+}
+
+func TestHistogramTopBucketSaturation(t *testing.T) {
+	// An observation beyond the last bucket's range lands in the clamped
+	// top bucket, whose nominal 2^39 bound is meaningless. Quantiles that
+	// fall there must report the exact observed maximum instead.
+	var h Histogram
+	d := 20 * time.Minute // 1.2e12 ns > 2^39
+	h.Observe(d)
+	s := h.Snapshot()
+	if s.MaxNS != d.Nanoseconds() {
+		t.Fatalf("max = %d, want %d", s.MaxNS, d.Nanoseconds())
+	}
+	for q, got := range map[string]int64{"p50": s.P50NS, "p90": s.P90NS, "p99": s.P99NS} {
+		if got != d.Nanoseconds() {
+			t.Errorf("%s = %dns, want the exact max %dns (saturated top bucket)", q, got, d.Nanoseconds())
+		}
+	}
+
+	// Mixed: the median stays in a real bucket, the tail saturates.
+	var h2 Histogram
+	for i := 0; i < 99; i++ {
+		h2.Observe(100 * time.Nanosecond)
+	}
+	h2.Observe(d)
+	s2 := h2.Snapshot()
+	if s2.P50NS != 128 {
+		t.Fatalf("p50 = %dns, want 128", s2.P50NS)
+	}
+	if s2.P99NS != 128 {
+		// rank ceil(0.99·100) = 99 is still the fast bucket.
+		t.Fatalf("p99 = %dns, want 128 (rank 99 of 100)", s2.P99NS)
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	var h Histogram
 	var wg sync.WaitGroup

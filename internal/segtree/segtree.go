@@ -9,6 +9,14 @@ package segtree
 // rectangles partially overlap; under that invariant, rectangles stored at
 // the same node have pairwise disjoint Y ranges, so a point query needs one
 // floor lookup per node on the root-to-leaf search path: O(log² N) total.
+//
+// Concurrency: Insert mutates the tree (node creation, treap rotations) and
+// must never run concurrently with anything else. The read-side methods —
+// Covers, CoverOf, Walk, Len — perform no writes, so any number of them may
+// run concurrently once inserts have finished. The parallel construction
+// pipeline relies on exactly this split: rectangle candidates are generated
+// concurrently without touching the tree, and the Theorem-2 pruning pass,
+// which interleaves Covers with Insert, runs on a single goroutine.
 type Tree struct {
 	n    int
 	root *segNode

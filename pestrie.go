@@ -87,11 +87,20 @@ type Index = core.Index
 // defaults (hub-degree object order, Theorem-2 pruning on).
 type BuildOptions = core.Options
 
-// Build constructs a Pestrie for the matrix.
+// Build constructs a Pestrie for the matrix. Construction fans out over
+// BuildOptions.Workers goroutines (GOMAXPROCS when zero); the resulting
+// Trie — and the file WriteTo emits — is byte-identical for every worker
+// count.
 func Build(pm *Matrix, opts *BuildOptions) *Trie { return core.Build(pm, opts) }
 
-// Load decodes a persistent Pestrie file into a query index.
+// Load decodes a persistent Pestrie file into a query index, building the
+// query structure with GOMAXPROCS workers.
 func Load(r io.Reader) (*Index, error) { return core.Load(r) }
+
+// LoadWith is Load with an explicit decode worker count: zero or negative
+// selects GOMAXPROCS, 1 decodes fully sequentially. The index is identical
+// for every worker count.
+func LoadWith(r io.Reader, workers int) (*Index, error) { return core.LoadWith(r, workers) }
 
 // LoadFile is Load over a file path.
 func LoadFile(path string) (*Index, error) {
