@@ -8,11 +8,15 @@
 //	benchtables -table 7 -presets antlr,chart -scale 0.01
 //	benchtables -table fig7 -scale 0.005
 //	benchtables -table build -presets fop -scale 0.05 -json BENCH_build.json
+//	benchtables -table anders -json BENCH_anders.json
 //
-// Tables: 2, fig1, 7, 8, fig7, ablation, build, all. The build experiment
-// measures -j1 vs -jN construction and decode (see internal/exper's
-// BuildBench); -j sizes the pool and -json additionally writes the rows as
-// JSON.
+// Tables: 2, fig1, 7, 8, fig7, ablation, build, all, plus anders (run only
+// when named — it measures the constraint engine, not a paper table). The
+// build experiment measures -j1 vs -jN construction and decode (see
+// internal/exper's BuildBench); the anders experiment measures constraint
+// solving across worker counts and the HVN ablation over the program
+// presets (`ptagen list`). -j sizes the pools and -json additionally
+// writes the experiment's rows as JSON.
 package main
 
 import (
@@ -35,12 +39,12 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
-	table := fs.String("table", "all", "which experiment: 2 | fig1 | 7 | 8 | fig7 | ablation | build | all")
+	table := fs.String("table", "all", "which experiment: 2 | fig1 | 7 | 8 | fig7 | ablation | build | anders | all")
 	scale := fs.Float64("scale", 0.01, "benchmark scale vs the paper's sizes")
 	presets := fs.String("presets", "", "comma-separated preset names (default: all 12)")
 	stride := fs.Int("stride", 0, "base-pointer stride (0 = auto ≈1000 base pointers)")
 	jobs := fs.Int("j", 0, "worker-pool size for the parallel columns (0 = GOMAXPROCS)")
-	jsonOut := fs.String("json", "", "also write the build experiment's rows as JSON to this path")
+	jsonOut := fs.String("json", "", "also write the build/anders experiment's rows as JSON to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,22 +54,33 @@ func run(args []string, w io.Writer) error {
 		opts.Presets = strings.Split(*presets, ",")
 	}
 
+	writeJSON := func(write func(io.Writer) error) error {
+		if *jsonOut == "" {
+			return nil
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
 	buildBench := func(o *exper.Options) (string, error) {
 		rows := exper.BuildBench(o)
-		if *jsonOut != "" {
-			f, err := os.Create(*jsonOut)
-			if err != nil {
-				return "", err
-			}
-			if err := exper.WriteBuildBenchJSON(f, rows); err != nil {
-				f.Close()
-				return "", err
-			}
-			if err := f.Close(); err != nil {
-				return "", err
-			}
+		if err := writeJSON(func(w io.Writer) error { return exper.WriteBuildBenchJSON(w, rows) }); err != nil {
+			return "", err
 		}
 		return exper.RenderBuildBench(rows), nil
+	}
+	andersBench := func(o *exper.Options) (string, error) {
+		rows := exper.AndersBench(o)
+		if err := writeJSON(func(w io.Writer) error { return exper.WriteAndersBenchJSON(w, rows) }); err != nil {
+			return "", err
+		}
+		return exper.RenderAndersBench(rows), nil
 	}
 
 	experiments := []struct {
@@ -79,10 +94,13 @@ func run(args []string, w io.Writer) error {
 		{"fig7", "figure 7", func(o *exper.Options) (string, error) { return exper.RenderFigure7(exper.Figure7(o)), nil }},
 		{"ablation", "ablations", func(o *exper.Options) (string, error) { return exper.RenderAblations(exper.Ablations(o)), nil }},
 		{"build", "build bench", buildBench},
+		{"anders", "anders bench", andersBench},
 	}
 	any := false
 	for _, e := range experiments {
-		if *table != "all" && *table != e.key {
+		// "all" covers the paper tables; the engine bench runs only when
+		// asked for by name.
+		if *table != e.key && !(*table == "all" && e.key != "anders") {
 			continue
 		}
 		any = true

@@ -36,6 +36,29 @@ func TestRunAll(t *testing.T) {
 	}
 }
 
+func TestRunAndersTable(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-table", "anders", "-presets", "anders-base", "-j", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Anders bench") || !strings.Contains(out, "anders-base") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunAllSkipsAndersBench(t *testing.T) {
+	var sb strings.Builder
+	// Restricting to one tiny preset keeps "all" fast; the engine bench
+	// must not run unless named explicitly.
+	if err := run([]string{"-table", "2", "-scale", "0.002", "-presets", "antlr"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "Anders bench") {
+		t.Fatal("-table 2 also ran the anders bench")
+	}
+}
+
 func TestRunUnknownTable(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-table", "nope"}, &sb); err == nil {

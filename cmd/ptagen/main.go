@@ -5,8 +5,9 @@
 // Usage:
 //
 //	ptagen preset -name fop -scale 0.01 -out fop.ptm
-//	ptagen analyze -ir prog.ir -clone 1 -out prog.ptm [-names prog.names]
+//	ptagen analyze -ir prog.ir -clone 1 -j 4 -out prog.ptm [-names prog.names]
 //	ptagen random -funcs 20 -vars 8 -stmts 30 -seed 7 -out prog.ir
+//	ptagen random -preset anders-web -out prog.ir
 //	ptagen list
 package main
 
@@ -136,6 +137,8 @@ func analyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	irPath := fs.String("ir", "", "pointer-IR source file")
 	clone := fs.Int("clone", 0, "k-callsite cloning depth (0 = context-insensitive)")
+	workers := fs.Int("j", 0, "solver worker count (0 = GOMAXPROCS); the matrix is identical for any value")
+	noHVN := fs.Bool("no-hvn", false, "skip the offline HVN substitution pass (ablation; same matrix)")
 	out := fs.String("out", "", "output matrix file (.ptm)")
 	names := fs.String("names", "", "optional output file mapping IDs to IR names")
 	fs.Parse(args)
@@ -155,11 +158,17 @@ func analyze(args []string) error {
 		fmt.Fprintf(os.Stderr, "ptagen: warning: %s\n", w)
 	}
 	var res *pestrie.AnalysisResult
-	dur := perf.Time(func() { res, err = pestrie.Analyze(prog, *clone) })
+	dur := perf.Time(func() {
+		res, err = pestrie.AnalyzeWith(prog, pestrie.AnalysisOptions{
+			CloneDepth: *clone, Workers: *workers, DisableHVN: *noHVN,
+		})
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("analyzed %d statements in %s\n", prog.NumStmts(), dur)
+	st := res.Stats
+	fmt.Printf("analyzed %d statements in %s (-j%d): %d constraints over %d vars, HVN merged %d, cycles merged %d, %d rounds\n",
+		prog.NumStmts(), dur, st.Workers, st.Constraints, st.Vars, st.HVNMerged, st.CycleMerged, st.Rounds)
 	if *names != "" {
 		if err := writeNames(res, *names); err != nil {
 			return err
@@ -196,12 +205,26 @@ func random(args []string) error {
 	vars := fs.Int("vars", 6, "variables per function")
 	stmts := fs.Int("stmts", 20, "statements per function")
 	seed := fs.Int64("seed", 1, "generator seed")
+	chain := fs.Int("chain", 0, "depth of the deterministic call chain (0 = none)")
+	lsw := fs.Int("lsweight", 1, "load/store statement weight (>= 2 densifies dereferences)")
+	preset := fs.String("preset", "", "program preset name overriding the shape flags (see: ptagen list)")
 	out := fs.String("out", "", "output IR file")
 	fs.Parse(args)
 	if *out == "" {
 		return fmt.Errorf("random needs -out")
 	}
-	prog := ir.Generate(ir.GenOptions{Funcs: *funcs, VarsPerFunc: *vars, StmtsPerFunc: *stmts, Seed: *seed})
+	opts := ir.GenOptions{
+		Funcs: *funcs, VarsPerFunc: *vars, StmtsPerFunc: *stmts, Seed: *seed,
+		ChainDepth: *chain, LoadStoreWeight: *lsw,
+	}
+	if *preset != "" {
+		p := ir.ProgPresetByName(*preset)
+		if p == nil {
+			return fmt.Errorf("unknown program preset %q (try: ptagen list)", *preset)
+		}
+		opts = p.Opts
+	}
+	prog := ir.Generate(opts)
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
@@ -222,6 +245,10 @@ func list() error {
 	for _, b := range pestrie.Benchmarks() {
 		fmt.Printf("%-12s %-5s %-24s %10d %9d\n",
 			b.Name, b.Language, b.Analysis.String(), b.Pointers, b.Objects)
+	}
+	fmt.Printf("\nprogram presets (ptagen random -preset <name>):\n")
+	for _, p := range ir.ProgPresets {
+		fmt.Printf("%-14s %s\n", p.Name, p.Desc)
 	}
 	return nil
 }

@@ -46,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	backend := fs.String("backend", "pestrie", "query backend: pestrie | demand")
 	pesPath := fs.String("pes", "", "persisted Pestrie file to query (pestrie backend); built in memory when empty")
 	clone := fs.Int("clone", 0, "k-callsite cloning depth (0 = context-insensitive)")
+	workers := fs.Int("j", 0, "solver worker count (0 = GOMAXPROCS); findings are identical for any value")
 	roots := fs.String("roots", "main", "function whose locals form the leak checker's root set")
 	noWarn := fs.Bool("no-warn", false, "suppress IR lint warnings")
 	if err := fs.Parse(args); err != nil {
@@ -70,7 +71,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	res, err := anders.Analyze(prog, &anders.Options{CloneDepth: *clone})
+	res, err := anders.Analyze(prog, &anders.Options{CloneDepth: *clone, Workers: *workers})
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,23 @@
 // exporters. Its output is the normalized points-to matrix of §2, ready for
 // any of the persistence encoders.
 //
+// The engine runs in three stages:
+//
+//  1. Offline HVN substitution (hvn.go): before any propagation, variables
+//     that are provably pointer-equivalent — same base objects flowing in
+//     through the same copy structure — are merged into one solver node, so
+//     duplicate propagation work is never performed at all.
+//  2. Online cycle collapsing (wave.go): copy cycles that only materialize
+//     during solving (through loads and stores) are detected each round with
+//     Tarjan's algorithm and collapsed into a single representative via
+//     union-find, in the style of Nuutila/lazy cycle elimination.
+//  3. Wave propagation (wave.go): the condensed copy graph is topologically
+//     levelized and point-to deltas are pulled level by level, fanning each
+//     level out across an internal/par worker pool. The computed matrix is
+//     identical for every worker count — Andersen's least fixpoint is
+//     unique, and every table the solver emits is derived deterministically
+//     from the input program alone.
+//
 // Beyond the base analysis it provides call-site cloning (heap cloning
 // included), which materializes k-callsite context sensitivity by program
 // transformation, and the §6 canonicalization transforms that map
@@ -18,6 +35,7 @@ import (
 	"pestrie/internal/bitmap"
 	"pestrie/internal/ir"
 	"pestrie/internal/matrix"
+	"pestrie/internal/par"
 )
 
 // Result is the outcome of an analysis: the points-to matrix plus the
@@ -29,8 +47,33 @@ type Result struct {
 	PointerNames []string
 	ObjectNames  []string
 
+	// Stats describes the solved constraint system and what the engine's
+	// reduction passes achieved on it.
+	Stats Stats
+
 	pointerIdx map[string]int
 	objectIdx  map[string]int
+}
+
+// Stats summarizes one solver run.
+type Stats struct {
+	// Vars counts solver variables (program variables plus heap cells)
+	// before any merging.
+	Vars int
+	// Objects counts abstract objects (allocation sites).
+	Objects int
+	// Constraints counts base, copy, load, and store constraints collected
+	// from the (possibly cloned) program.
+	Constraints int
+	// HVNMerged counts variables merged away by the offline HVN
+	// substitution pass.
+	HVNMerged int
+	// CycleMerged counts variables merged by online copy-cycle collapsing.
+	CycleMerged int
+	// Rounds counts wave-propagation rounds to fixpoint.
+	Rounds int
+	// Workers is the resolved propagation pool size.
+	Workers int
 }
 
 // PointerID returns the matrix row of the named pointer ("func.var"), or
@@ -57,6 +100,16 @@ type Options struct {
 	// call chain of length up to CloneDepth. 0 is context-insensitive.
 	// Recursive call edges are never cloned.
 	CloneDepth int
+
+	// Workers sizes the wave-propagation worker pool: <= 0 selects
+	// GOMAXPROCS, 1 solves strictly sequentially. The resulting matrix and
+	// name tables are identical for every worker count.
+	Workers int
+
+	// DisableHVN skips the offline HVN substitution pass. The result is
+	// identical either way; the flag exists for ablation benchmarks and
+	// debugging.
+	DisableHVN bool
 }
 
 // nodeID is a solver variable (a pointer).
@@ -70,18 +123,18 @@ type solver struct {
 	objIDs  map[string]int
 	objName []string
 
-	pts    []*bitmap.Sparse  // points-to set per variable
-	copies []map[nodeID]bool // copy edges: src -> dst set
-	loads  [][]nodeID        // load constraints per source: dst = *src
-	stores [][]nodeID        // store constraints per target: *dst = src
+	// Collected constraints. Base constraints seed points-to sets; copy
+	// constraints are graph edges; loads and stores are resolved online as
+	// their pointer's set grows.
+	base   [][2]int    // [var, obj]: var ⊇ {obj}
+	copyC  [][2]nodeID // [src, dst]: dst ⊇ src
+	loadC  [][2]nodeID // [src, dst]: dst = *src
+	storeC [][2]nodeID // [dst, src]: *dst = src
 
-	// processed[v] holds the objects of v already propagated to its copy
-	// successors and deref edges; each worklist visit only handles the
-	// difference (standard difference propagation).
-	processed []*bitmap.Sparse
-
-	work   []nodeID
-	inWork map[nodeID]bool
+	// firstHeap is the first heap-cell node: collect() creates one node
+	// per allocation site after all program variables.
+	firstHeap nodeID
+	objVar    []nodeID // object -> heap-cell node
 }
 
 // Analyze runs the analysis and returns the normalized matrix.
@@ -106,11 +159,27 @@ func Analyze(prog *ir.Program, opts *Options) (*Result, error) {
 		prog:   prog,
 		varIDs: map[string]nodeID{},
 		objIDs: map[string]int{},
-		inWork: map[nodeID]bool{},
 	}
 	s.collect()
-	s.solve()
-	return s.result(), nil
+
+	stats := Stats{
+		Vars:        len(s.varName),
+		Objects:     len(s.objName),
+		Constraints: len(s.base) + len(s.copyC) + len(s.loadC) + len(s.storeC),
+		Workers:     par.Workers(opts.Workers),
+	}
+	uf := newUnionFind(len(s.varName))
+	if !opts.DisableHVN {
+		s.hvn(uf)
+	}
+	stats.HVNMerged = len(s.varName) - uf.reps()
+
+	w := newWaveSolver(s, uf, stats.Workers)
+	w.solve()
+	stats.CycleMerged = len(s.varName) - uf.reps() - stats.HVNMerged
+	stats.Rounds = w.rounds
+
+	return s.result(w, stats), nil
 }
 
 func (s *solver) varOf(fn, v string) nodeID {
@@ -121,11 +190,6 @@ func (s *solver) varOf(fn, v string) nodeID {
 	id := nodeID(len(s.varName))
 	s.varIDs[name] = id
 	s.varName = append(s.varName, name)
-	s.pts = append(s.pts, bitmap.New())
-	s.copies = append(s.copies, nil)
-	s.loads = append(s.loads, nil)
-	s.stores = append(s.stores, nil)
-	s.processed = append(s.processed, bitmap.New())
 	return id
 }
 
@@ -139,150 +203,113 @@ func (s *solver) objOf(site string) int {
 	return id
 }
 
-// objVar is the solver variable standing for the contents of an object
-// (field-insensitive heap model: one cell per allocation site).
-func (s *solver) objVar(obj int) nodeID {
-	return s.varOf("@heap", s.objName[obj])
-}
-
 func (s *solver) addCopy(src, dst nodeID) {
-	if src == dst {
-		return
-	}
-	if s.copies[src] == nil {
-		s.copies[src] = map[nodeID]bool{}
-	}
-	if s.copies[src][dst] {
-		return
-	}
-	s.copies[src][dst] = true
-	if !s.pts[src].Empty() {
-		if s.pts[dst].Or(s.pts[src]) {
-			s.enqueue(dst)
-		}
-	}
-}
-
-func (s *solver) enqueue(v nodeID) {
-	if !s.inWork[v] {
-		s.inWork[v] = true
-		s.work = append(s.work, v)
+	if src != dst {
+		s.copyC = append(s.copyC, [2]nodeID{src, dst})
 	}
 }
 
 // collect builds base constraints from every statement (branch arms are
 // flattened — the analysis is flow-insensitive); calls become copy edges
 // between arguments/parameters and between the callee's returns and the
-// call's destination.
+// call's destination. Each function's return variables are gathered once up
+// front, so wiring call results is O(call sites), not O(calls × stmts).
 func (s *solver) collect() {
+	returns := make(map[string][]string, len(s.prog.Funcs))
 	for _, f := range s.prog.Funcs {
-		f := f
+		var rv []string
+		ir.Walk(f.Body, func(st *ir.Stmt) {
+			if st.Kind == ir.Return {
+				rv = append(rv, st.Src)
+			}
+		})
+		returns[f.Name] = rv
+	}
+	for _, f := range s.prog.Funcs {
+		fn := f.Name
 		ir.Walk(f.Body, func(st *ir.Stmt) {
 			switch st.Kind {
 			case ir.Alloc, ir.Source:
 				// A taint source allocates a labelled abstract object, so
 				// downstream clients can resolve the label through the
 				// persisted points-to information.
-				v := s.varOf(f.Name, st.Dst)
-				o := s.objOf(st.Site)
-				if !s.pts[v].Test(o) {
-					s.pts[v].Set(o)
-					s.enqueue(v)
-				}
+				s.base = append(s.base, [2]int{int(s.varOf(fn, st.Dst)), s.objOf(st.Site)})
 			case ir.Copy:
-				s.addCopy(s.varOf(f.Name, st.Src), s.varOf(f.Name, st.Dst))
+				s.addCopy(s.varOf(fn, st.Src), s.varOf(fn, st.Dst))
 			case ir.Load:
-				src := s.varOf(f.Name, st.Src)
-				s.loads[src] = append(s.loads[src], s.varOf(f.Name, st.Dst))
-				s.enqueue(src)
+				s.loadC = append(s.loadC, [2]nodeID{s.varOf(fn, st.Src), s.varOf(fn, st.Dst)})
 			case ir.Store:
-				dst := s.varOf(f.Name, st.Dst)
-				s.stores[dst] = append(s.stores[dst], s.varOf(f.Name, st.Src))
-				s.enqueue(dst)
+				s.storeC = append(s.storeC, [2]nodeID{s.varOf(fn, st.Dst), s.varOf(fn, st.Src)})
 			case ir.Call:
 				callee := s.prog.Func(st.Callee)
 				for i, a := range st.Args {
-					s.addCopy(s.varOf(f.Name, a), s.varOf(callee.Name, callee.Params[i]))
+					s.addCopy(s.varOf(fn, a), s.varOf(callee.Name, callee.Params[i]))
 				}
 				if st.Dst != "" {
-					dst := s.varOf(f.Name, st.Dst)
-					ir.Walk(callee.Body, func(cs *ir.Stmt) {
-						if cs.Kind == ir.Return {
-							s.addCopy(s.varOf(callee.Name, cs.Src), dst)
-						}
-					})
+					dst := s.varOf(fn, st.Dst)
+					for _, rv := range returns[callee.Name] {
+						s.addCopy(s.varOf(callee.Name, rv), dst)
+					}
 				}
 			case ir.Sink:
 				// No constraints, but register the consumed pointer so it
 				// gets a matrix row clients can query.
-				s.varOf(f.Name, st.Src)
+				s.varOf(fn, st.Src)
 			case ir.Return, ir.Branch:
-				// Returns are handled at call sites; branch arms are
-				// visited by the walk itself.
+				// Returns are wired at call sites from the precomputed
+				// table; branch arms are visited by the walk itself.
 			}
 		})
 	}
-}
-
-// solve runs the worklist to fixpoint with difference propagation: each
-// visit of v handles only the objects that arrived since the previous
-// visit — propagating the delta along copy edges and, for dereferenced
-// variables, adding the implied copy edges for loads and stores. New copy
-// edges created mid-solve transfer the source's full current set in
-// addCopy, so deltas never miss anything.
-func (s *solver) solve() {
-	for len(s.work) > 0 {
-		v := s.work[len(s.work)-1]
-		s.work = s.work[:len(s.work)-1]
-		s.inWork[v] = false
-
-		delta := s.pts[v].Copy()
-		delta.AndNot(s.processed[v])
-		if delta.Empty() {
-			continue
-		}
-		s.processed[v].Or(delta)
-
-		if len(s.loads[v]) > 0 || len(s.stores[v]) > 0 {
-			delta.ForEach(func(o int) bool {
-				ov := s.objVar(o)
-				for _, dst := range s.loads[v] {
-					s.addCopy(ov, dst)
-				}
-				for _, src := range s.stores[v] {
-					s.addCopy(src, ov)
-				}
-				return true
-			})
-		}
-		for dst := range s.copies[v] {
-			if s.pts[dst].Or(delta) {
-				s.enqueue(dst)
-			}
-		}
+	// One heap-cell variable per allocation site (field-insensitive heap
+	// model), created after every program variable in object-ID order so
+	// node numbering depends only on the program.
+	s.firstHeap = nodeID(len(s.varName))
+	s.objVar = make([]nodeID, len(s.objName))
+	for o, site := range s.objName {
+		s.objVar[o] = s.varOf("@heap", site)
 	}
 }
 
-func (s *solver) result() *Result {
-	// Exclude the synthetic heap cells from the pointer rows? No: the
-	// paper's matrices include every pointer-valued location, and heap
-	// cells are exactly the "object field" pointers a C/Java analysis
-	// exports. Keep them, but order rows deterministically by name.
-	order := make([]nodeID, len(s.varName))
-	for i := range order {
-		order[i] = nodeID(i)
+// result assembles the matrix: rows for every program variable plus the
+// heap cells of objects that were actually dereferenced (matching what a
+// points-to exporter emits — untouched sites have no pointer-valued cell),
+// ordered deterministically by name.
+func (s *solver) result(w *waveSolver, stats Stats) *Result {
+	// An object is dereferenced iff it appears in the final points-to set
+	// of some variable with load or store constraints — a property of the
+	// (unique) fixpoint, not of solve order.
+	derefed := bitmap.New()
+	for _, v := range w.activeReps() {
+		if len(w.loads[v]) > 0 || len(w.stores[v]) > 0 {
+			derefed.Or(w.pts[v])
+		}
+	}
+	skip := make([]bool, len(s.varName))
+	for o, ov := range s.objVar {
+		if ov >= s.firstHeap && !derefed.Test(o) {
+			skip[ov] = true
+		}
+	}
+
+	var order []nodeID
+	for v := range s.varName {
+		if !skip[v] {
+			order = append(order, nodeID(v))
+		}
 	}
 	sort.Slice(order, func(a, b int) bool { return s.varName[order[a]] < s.varName[order[b]] })
 
 	res := &Result{
-		PM:         matrix.New(len(s.varName), len(s.objName)),
+		PM:         matrix.New(len(order), len(s.objName)),
+		Stats:      stats,
 		pointerIdx: map[string]int{},
 		objectIdx:  map[string]int{},
 	}
 	for row, v := range order {
 		res.PointerNames = append(res.PointerNames, s.varName[v])
 		res.pointerIdx[s.varName[v]] = row
-		res.PM.SetRow(row, s.pts[v].Copy())
+		res.PM.SetRow(row, w.pts[w.uf.find(v)].Copy())
 	}
 	res.ObjectNames = append(res.ObjectNames, s.objName...)
 	for o, n := range s.objName {

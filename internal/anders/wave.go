@@ -1,0 +1,451 @@
+package anders
+
+// Online solving: wave propagation over the condensed copy graph, in the
+// style of Pereira & Berlin ("Wave Propagation and Deep Propagation for
+// Pointer Analysis", CGO'09), with Nuutila-style lazy cycle elimination.
+//
+// Each round:
+//
+//  1. collapse: run Tarjan over the current copy graph and merge every
+//     multi-node SCC into its minimum-ID member via union-find. Copy
+//     cycles force their members' points-to sets equal at the fixpoint,
+//     so a cycle is pure duplicate work; collapsing also makes the
+//     remaining graph a DAG, which is what lets the wave parallelize.
+//  2. schedule: levelize the DAG (longest path from a root), so that
+//     every copy edge goes from a lower level to a strictly higher one.
+//  3. wave: process levels in order, fanning each level across the worker
+//     pool. A node *pulls* from its predecessors — the delta (dif) over
+//     already-propagated bits for established edges, the full set for
+//     edges added since the last wave — then records its own delta. Pulling
+//     makes the phase race-free by construction: a node's sets are written
+//     only while its level is being processed, and its predecessors all
+//     sit at lower, already-finished levels. One pass is complete: deltas
+//     ride the wave transitively down the DAG.
+//  4. deref: scan each load/store pointer's delta since the last scan and
+//     turn new points-to members into copy edges (load `d = *p` yields
+//     obj→d, store `*p = s` yields s→obj). Candidate edges are collected
+//     in parallel, then sorted and merged sequentially, so the edge lists
+//     — and hence everything downstream — are identical for any worker
+//     count. If no edge was truly new, the system is closed and the least
+//     fixpoint has been reached.
+//
+// Determinism: the fixpoint itself is unique, and every intermediate
+// structure (representatives, edge lists, level assignment) is derived by
+// value from the constraint system, never from goroutine timing.
+
+import (
+	"slices"
+	"sort"
+
+	"pestrie/internal/bitmap"
+	"pestrie/internal/par"
+)
+
+// parallelLevelMin is the smallest level width worth fanning out; below
+// it, goroutine handoff costs more than the propagation work.
+const parallelLevelMin = 64
+
+type waveSolver struct {
+	s       *solver
+	uf      *unionFind
+	workers int
+	rounds  int
+
+	// Per-representative state (nil for merged-away nodes).
+	pts       []*bitmap.Sparse // current points-to set
+	done      []*bitmap.Sparse // portion of pts already propagated to successors
+	dif       []*bitmap.Sparse // this wave's delta, pulled by successors
+	derefDone []*bitmap.Sparse // portion of pts already expanded into deref edges
+
+	succ    [][]nodeID // copy edges, sorted unique representative IDs
+	newSucc [][]nodeID // subset of succ added since the last wave
+	loads   [][]nodeID // v -> destinations of loads `d = *v`
+	stores  [][]nodeID // v -> sources of stores `*v = s`
+
+	active   []nodeID   // current representatives, ascending
+	preds    [][]nodeID // reverse of succ minus newSucc, rebuilt per round
+	predsNew [][]nodeID // reverse of newSucc
+}
+
+func newWaveSolver(s *solver, uf *unionFind, workers int) *waveSolver {
+	n := len(s.varName)
+	w := &waveSolver{
+		s:         s,
+		uf:        uf,
+		workers:   workers,
+		pts:       make([]*bitmap.Sparse, n),
+		done:      make([]*bitmap.Sparse, n),
+		dif:       make([]*bitmap.Sparse, n),
+		derefDone: make([]*bitmap.Sparse, n),
+		succ:      make([][]nodeID, n),
+		newSucc:   make([][]nodeID, n),
+		loads:     make([][]nodeID, n),
+		stores:    make([][]nodeID, n),
+	}
+	for v := 0; v < n; v++ {
+		if uf.find(nodeID(v)) == nodeID(v) {
+			w.pts[v] = bitmap.New()
+			w.done[v] = bitmap.New()
+			w.derefDone[v] = bitmap.New()
+		}
+	}
+	// Canonicalize the collected constraints through whatever HVN merged.
+	for _, b := range s.base {
+		w.pts[uf.find(nodeID(b[0]))].Set(b[1])
+	}
+	for _, e := range s.copyC {
+		u, v := uf.find(e[0]), uf.find(e[1])
+		if u != v {
+			w.succ[u] = append(w.succ[u], v)
+		}
+	}
+	for _, e := range s.loadC {
+		src := uf.find(e[0])
+		w.loads[src] = append(w.loads[src], uf.find(e[1]))
+	}
+	for _, e := range s.storeC {
+		dst := uf.find(e[0])
+		w.stores[dst] = append(w.stores[dst], uf.find(e[1]))
+	}
+	for v := 0; v < n; v++ {
+		w.succ[v] = sortDedup(w.succ[v])
+		w.loads[v] = sortDedup(w.loads[v])
+		w.stores[v] = sortDedup(w.stores[v])
+	}
+	return w
+}
+
+// solve runs rounds to the least fixpoint. After a full wave every
+// representative's done set equals its points-to set and the deref phase
+// has expanded every delta, so the system is at fixpoint exactly when no
+// round added a truly-new edge.
+func (w *waveSolver) solve() {
+	for {
+		w.rounds++
+		w.collapse()
+		levels := w.schedule()
+		w.wave(levels)
+		for _, v := range w.active {
+			w.newSucc[v] = nil
+		}
+		if !w.addDerefEdges() {
+			return
+		}
+	}
+}
+
+// activeReps returns the current representatives in ascending ID order.
+func (w *waveSolver) activeReps() []nodeID { return w.active }
+
+// collapse merges every copy SCC into its minimum member: points-to sets
+// union, progress markers (done, derefDone) intersect — an intersection
+// under-approximates what every merged member already handled, so anything
+// uncertain is simply re-propagated, never skipped.
+func (w *waveSolver) collapse() {
+	sccs := tarjanSCC(len(w.succ), w.succ)
+	merged := false
+	for _, scc := range sccs {
+		if len(scc) <= 1 {
+			continue
+		}
+		merged = true
+		r := scc[0]
+		for _, v := range scc[1:] {
+			r = w.uf.union(r, v)
+		}
+		for _, v := range scc {
+			if v == r {
+				continue
+			}
+			w.pts[r].Or(w.pts[v])
+			w.done[r].And(w.done[v])
+			w.derefDone[r].And(w.derefDone[v])
+			w.succ[r] = append(w.succ[r], w.succ[v]...)
+			w.newSucc[r] = append(w.newSucc[r], w.newSucc[v]...)
+			w.loads[r] = append(w.loads[r], w.loads[v]...)
+			w.stores[r] = append(w.stores[r], w.stores[v]...)
+			w.pts[v], w.done[v], w.dif[v], w.derefDone[v] = nil, nil, nil, nil
+			w.succ[v], w.newSucc[v], w.loads[v], w.stores[v] = nil, nil, nil, nil
+		}
+	}
+	if w.active != nil && !merged {
+		return // lists are already canonical
+	}
+	w.active = w.active[:0]
+	for v := 0; v < len(w.succ); v++ {
+		id := nodeID(v)
+		if w.uf.find(id) != id {
+			continue
+		}
+		w.active = append(w.active, id)
+		if merged {
+			w.succ[v] = w.canon(w.succ[v], id, true)
+			w.newSucc[v] = w.canon(w.newSucc[v], id, true)
+			// A load `v = *v` stays meaningful, so deref targets keep
+			// self-references.
+			w.loads[v] = w.canon(w.loads[v], id, false)
+			w.stores[v] = w.canon(w.stores[v], id, false)
+		}
+	}
+}
+
+// canon rewrites a target list through the union-find, sorts, dedups, and
+// (for copy edges) drops self-loops.
+func (w *waveSolver) canon(list []nodeID, self nodeID, dropSelf bool) []nodeID {
+	out := list[:0]
+	for _, t := range list {
+		t = w.uf.find(t)
+		if dropSelf && t == self {
+			continue
+		}
+		out = append(out, t)
+	}
+	return sortDedup(out)
+}
+
+func sortDedup(list []nodeID) []nodeID {
+	if len(list) < 2 {
+		return list
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	out := list[:1]
+	for _, t := range list[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// schedule levelizes the condensed DAG: level(v) = longest path from a
+// root, so every edge crosses to a strictly higher level. It also builds
+// the reverse edge lists the pull-based wave reads. Panics if a cycle
+// survived collapse — that would be an engine bug, not an input error.
+func (w *waveSolver) schedule() [][]nodeID {
+	n := len(w.succ)
+	if w.preds == nil {
+		w.preds = make([][]nodeID, n)
+		w.predsNew = make([][]nodeID, n)
+	}
+	for _, v := range w.active {
+		w.preds[v] = w.preds[v][:0]
+		w.predsNew[v] = w.predsNew[v][:0]
+	}
+	indeg := make([]int, n)
+	for _, v := range w.active {
+		for _, t := range w.succ[v] {
+			indeg[t]++
+		}
+		// Split successors into established and new: newSucc is a sorted
+		// subset of succ, so one linear co-walk classifies every edge.
+		j := 0
+		nw := w.newSucc[v]
+		for _, t := range w.succ[v] {
+			if j < len(nw) && nw[j] == t {
+				w.predsNew[t] = append(w.predsNew[t], v)
+				j++
+			} else {
+				w.preds[t] = append(w.preds[t], v)
+			}
+		}
+	}
+	level := make([]int, n)
+	queue := make([]nodeID, 0, len(w.active))
+	for _, v := range w.active {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	processed, maxLevel := 0, 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		processed++
+		for _, t := range w.succ[v] {
+			if level[v]+1 > level[t] {
+				level[t] = level[v] + 1
+				if level[t] > maxLevel {
+					maxLevel = level[t]
+				}
+			}
+			if indeg[t]--; indeg[t] == 0 {
+				queue = append(queue, t)
+			}
+		}
+	}
+	if processed != len(w.active) {
+		panic("anders: copy cycle survived collapse")
+	}
+	levels := make([][]nodeID, maxLevel+1)
+	for _, v := range w.active {
+		levels[level[v]] = append(levels[level[v]], v)
+	}
+	return levels
+}
+
+// wave runs one propagation pass over the levelized DAG. Each node pulls
+// its predecessors' deltas (full sets over new edges), then publishes its
+// own delta for the next level. Within a level nodes touch disjoint state,
+// so the level fans out across the pool; the per-level join is the only
+// synchronization the phase needs.
+func (w *waveSolver) wave(levels [][]nodeID) {
+	for _, lvl := range levels {
+		process := func(lo, hi int) {
+			for _, v := range lvl[lo:hi] {
+				for _, u := range w.predsNew[v] {
+					w.pts[v].Or(w.pts[u])
+				}
+				for _, u := range w.preds[v] {
+					w.pts[v].Or(w.dif[u])
+				}
+				d := w.pts[v].Copy()
+				d.AndNot(w.done[v])
+				w.dif[v] = d
+				if !d.Empty() {
+					w.done[v].Or(d)
+				}
+			}
+		}
+		if w.workers <= 1 || len(lvl) < parallelLevelMin {
+			process(0, len(lvl))
+		} else {
+			par.Chunks(len(lvl), w.workers, process)
+		}
+	}
+}
+
+// packEdge encodes a candidate copy edge u→v as one word so candidate
+// buffers sort without reflection and at half the footprint. Node IDs are
+// bounded by the variable count, far below 2³².
+func packEdge(u, v nodeID) uint64 { return uint64(u)<<32 | uint64(v) }
+
+// addDerefEdges expands loads and stores over each pointer's points-to
+// delta into copy edges and reports whether any edge was truly new.
+// Candidates are gathered in parallel (each worker owns a contiguous chunk
+// of pointers and its own output slice), then sorted and merged into the
+// sorted successor lists sequentially — identical lists for any schedule.
+func (w *waveSolver) addDerefEdges() bool {
+	var deref []nodeID
+	for _, v := range w.active {
+		if len(w.loads[v]) > 0 || len(w.stores[v]) > 0 {
+			deref = append(deref, v)
+		}
+	}
+	if len(deref) == 0 {
+		return false
+	}
+	// Union-find lookups compress paths, so they are not safe to race;
+	// resolve every heap cell's representative up front instead.
+	repObjVar := make([]nodeID, len(w.s.objVar))
+	for o, ov := range w.s.objVar {
+		repObjVar[o] = w.uf.find(ov)
+	}
+
+	bounds := par.ChunkBounds(len(deref), w.workers)
+	cands := make([][]uint64, len(bounds)-1)
+	scan := func(lo, hi int) {
+		ci := sort.SearchInts(bounds, lo)
+		// Candidate volume is delta × fanout — the hot allocation of the
+		// whole solver — so size the buffer exactly before filling it.
+		need := 0
+		deltas := make([]*bitmap.Sparse, hi-lo)
+		for i, v := range deref[lo:hi] {
+			delta := w.pts[v].Copy()
+			delta.AndNot(w.derefDone[v])
+			if delta.Empty() {
+				continue
+			}
+			deltas[i] = delta
+			need += delta.Count() * (len(w.loads[v]) + len(w.stores[v]))
+		}
+		out := make([]uint64, 0, need)
+		for i, v := range deref[lo:hi] {
+			delta := deltas[i]
+			if delta == nil {
+				continue
+			}
+			delta.ForEach(func(o int) bool {
+				ov := repObjVar[o]
+				for _, d := range w.loads[v] {
+					if ov != d {
+						out = append(out, packEdge(ov, d))
+					}
+				}
+				for _, src := range w.stores[v] {
+					if src != ov {
+						out = append(out, packEdge(src, ov))
+					}
+				}
+				return true
+			})
+			w.derefDone[v].Or(delta)
+		}
+		cands[ci] = out
+	}
+	if w.workers <= 1 || len(deref) < parallelLevelMin {
+		scan(0, len(deref))
+	} else {
+		par.Chunks(len(deref), w.workers, scan)
+	}
+
+	total := 0
+	for _, c := range cands {
+		total += len(c)
+	}
+	all := make([]uint64, 0, total)
+	for _, c := range cands {
+		all = append(all, c...)
+	}
+	slices.Sort(all)
+
+	added := false
+	for i := 0; i < len(all); {
+		u := nodeID(all[i] >> 32)
+		j := i
+		for j < len(all) && nodeID(all[j]>>32) == u {
+			j++
+		}
+		// One linear co-walk of the sorted candidate run and the sorted
+		// successor list finds the truly-new targets.
+		var news []nodeID
+		su := w.succ[u]
+		k := 0
+		for x := i; x < j; x++ {
+			v := nodeID(all[x] & 0xffffffff)
+			if x > i && nodeID(all[x-1]&0xffffffff) == v {
+				continue
+			}
+			for k < len(su) && su[k] < v {
+				k++
+			}
+			if k < len(su) && su[k] == v {
+				continue
+			}
+			news = append(news, v)
+		}
+		if len(news) > 0 {
+			added = true
+			w.succ[u] = mergeSorted(su, news)
+			w.newSucc[u] = news
+		}
+		i = j
+	}
+	return added
+}
+
+// mergeSorted merges two sorted disjoint lists into a fresh sorted list.
+func mergeSorted(a, b []nodeID) []nodeID {
+	out := make([]nodeID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

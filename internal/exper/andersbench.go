@@ -1,0 +1,161 @@
+package exper
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"slices"
+	"time"
+
+	"pestrie/internal/anders"
+	"pestrie/internal/ir"
+	"pestrie/internal/par"
+)
+
+// AndersBenchRow measures the Andersen constraint engine on one program
+// preset: constraint-system dimensions, what the HVN and cycle-collapsing
+// reductions removed, solve wall-clock at -j1 vs -jN, the HVN ablation,
+// and the matrix-identity check the engine guarantees across all of them.
+// Serialized to BENCH_anders.json. Gomaxprocs is recorded because parallel
+// speedup is only meaningful relative to the cores the run actually had.
+type AndersBenchRow struct {
+	Name        string `json:"name"`
+	Funcs       int    `json:"funcs"`
+	Stmts       int    `json:"stmts"`
+	Vars        int    `json:"vars"`
+	Objects     int    `json:"objects"`
+	Constraints int    `json:"constraints"`
+	MatrixFacts int    `json:"matrix_facts"`
+	Workers     int    `json:"workers"` // resolved pool size of the parallel run
+	Gomaxprocs  int    `json:"gomaxprocs"`
+
+	HVNMerged   int `json:"hvn_merged_vars"`
+	CycleMerged int `json:"cycle_merged_vars"`
+	Rounds      int `json:"rounds"`
+
+	SolveSerialNS   int64   `json:"solve_serial_ns"`
+	SolveParallelNS int64   `json:"solve_parallel_ns"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+
+	SolveNoHVNNS int64   `json:"solve_nohvn_ns"`
+	HVNSpeedup   float64 `json:"hvn_speedup"` // serial solve, HVN off vs on
+
+	ConstraintsPerSec float64 `json:"constraints_per_sec"` // at -jN
+
+	// MatrixIdentical confirms the -j1, -jN, and no-HVN runs produced the
+	// same matrix and name tables; the harness panics if they ever differ.
+	MatrixIdentical bool `json:"matrix_identical"`
+}
+
+// andersPresets resolves opts.Presets against the program presets,
+// ignoring names that belong to other experiments (the Table 2 matrix
+// presets); an empty selection falls back to every program preset.
+func andersPresets(opts *Options) []ir.ProgPreset {
+	if opts != nil && len(opts.Presets) > 0 {
+		var out []ir.ProgPreset
+		for _, name := range opts.Presets {
+			if p := ir.ProgPresetByName(name); p != nil {
+				out = append(out, *p)
+			}
+		}
+		if len(out) > 0 {
+			return out
+		}
+	}
+	return ir.ProgPresets
+}
+
+// AndersBench runs the constraint-engine experiment over the program
+// presets: solve each once per configuration and verify the outputs are
+// identical before reporting timings.
+func AndersBench(opts *Options) []AndersBenchRow {
+	workers := 0
+	if opts != nil {
+		workers = opts.Workers
+	}
+	var rows []AndersBenchRow
+	for _, p := range andersPresets(opts) {
+		rows = append(rows, andersBenchOne(p, workers))
+	}
+	return rows
+}
+
+func andersBenchOne(p ir.ProgPreset, workers int) AndersBenchRow {
+	prog := ir.Generate(p.Opts)
+	row := AndersBenchRow{
+		Name:       p.Name,
+		Funcs:      len(prog.Funcs),
+		Stmts:      prog.NumStmts(),
+		Workers:    par.Workers(workers),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+	}
+
+	solve := func(o anders.Options) (*anders.Result, int64) {
+		runtime.GC() // don't bill a run for its predecessor's garbage
+		start := time.Now()
+		res, err := anders.Analyze(prog, &o)
+		if err != nil {
+			panic(err)
+		}
+		return res, time.Since(start).Nanoseconds()
+	}
+
+	serial, serialNS := solve(anders.Options{Workers: 1})
+	parallel, parallelNS := solve(anders.Options{Workers: workers})
+	nohvn, nohvnNS := solve(anders.Options{Workers: 1, DisableHVN: true})
+
+	st := serial.Stats
+	row.Vars = st.Vars
+	row.Objects = st.Objects
+	row.Constraints = st.Constraints
+	row.MatrixFacts = serial.PM.Edges()
+	row.HVNMerged = st.HVNMerged
+	row.CycleMerged = st.CycleMerged
+	row.Rounds = st.Rounds
+	row.SolveSerialNS = serialNS
+	row.SolveParallelNS = parallelNS
+	row.ParallelSpeedup = nsRatio(serialNS, parallelNS)
+	row.SolveNoHVNNS = nohvnNS
+	row.HVNSpeedup = nsRatio(nohvnNS, serialNS)
+	if parallelNS > 0 {
+		row.ConstraintsPerSec = float64(st.Constraints) / (float64(parallelNS) / 1e9)
+	}
+
+	row.MatrixIdentical = sameAnalysis(serial, parallel) && sameAnalysis(serial, nohvn)
+	if !row.MatrixIdentical {
+		panic(fmt.Sprintf("%s: -j1, -j%d, and no-HVN results differ", p.Name, row.Workers))
+	}
+	return row
+}
+
+func sameAnalysis(a, b *anders.Result) bool {
+	return a.PM.Equal(b.PM) &&
+		slices.Equal(a.PointerNames, b.PointerNames) &&
+		slices.Equal(a.ObjectNames, b.ObjectNames)
+}
+
+// RenderAndersBench renders AndersBench rows as text.
+func RenderAndersBench(rows []AndersBenchRow) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "Anders bench: constraint solving, -j1 vs -jN and HVN ablation (GOMAXPROCS=%d)\n",
+		runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&b, "%-14s %4s | %8s %7s %6s | %10s %10s %7s | %10s %7s | %11s | %s\n",
+		"preset", "j", "cons", "hvn", "cyc",
+		"solve-j1", "solve-jN", "speedup", "no-hvn", "hvn×", "cons/s", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %4d | %8d %7d %6d | %8.1fms %8.1fms %6.2f× | %8.1fms %6.2f× | %11.0f | %v\n",
+			r.Name, r.Workers, r.Constraints, r.HVNMerged, r.CycleMerged,
+			float64(r.SolveSerialNS)/1e6, float64(r.SolveParallelNS)/1e6, r.ParallelSpeedup,
+			float64(r.SolveNoHVNNS)/1e6, r.HVNSpeedup, r.ConstraintsPerSec, r.MatrixIdentical)
+	}
+	return b.String()
+}
+
+// WriteAndersBenchJSON writes AndersBench rows as indented JSON.
+func WriteAndersBenchJSON(w io.Writer, rows []AndersBenchRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

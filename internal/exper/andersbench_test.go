@@ -1,0 +1,64 @@
+package exper
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestAndersBench(t *testing.T) {
+	rows := AndersBench(&Options{Presets: []string{"anders-base"}, Workers: 2})
+	if len(rows) != 1 {
+		t.Fatalf("expected 1 row, got %d", len(rows))
+	}
+	r := rows[0]
+	if r.Name != "anders-base" || r.Workers != 2 {
+		t.Fatalf("bad row identity: %+v", r)
+	}
+	if !r.MatrixIdentical {
+		t.Fatal("matrix identity check failed")
+	}
+	if r.Constraints == 0 || r.Vars == 0 || r.MatrixFacts == 0 {
+		t.Fatalf("empty dimensions: %+v", r)
+	}
+	if r.SolveSerialNS <= 0 || r.SolveParallelNS <= 0 || r.SolveNoHVNNS <= 0 {
+		t.Fatalf("missing timings: %+v", r)
+	}
+	if r.ConstraintsPerSec <= 0 {
+		t.Fatalf("missing throughput: %+v", r)
+	}
+	if r.Gomaxprocs < 1 {
+		t.Fatalf("missing gomaxprocs: %+v", r)
+	}
+
+	text := RenderAndersBench(rows)
+	if !strings.Contains(text, "anders-base") || !strings.Contains(text, "identical") {
+		t.Fatalf("render missing fields:\n%s", text)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteAndersBenchJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var back []AndersBenchRow
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Name != "anders-base" || !back[0].MatrixIdentical {
+		t.Fatalf("JSON round-trip mismatch: %+v", back)
+	}
+}
+
+// TestAndersBenchPresetFallback: matrix-preset names (or junk) select
+// nothing, so the engine bench falls back to every program preset rather
+// than silently running an empty experiment.
+func TestAndersBenchPresetFallback(t *testing.T) {
+	got := andersPresets(&Options{Presets: []string{"antlr"}})
+	if len(got) == 0 {
+		t.Fatal("fallback selected no presets")
+	}
+	if one := andersPresets(&Options{Presets: []string{"anders-web"}}); len(one) != 1 || one[0].Name != "anders-web" {
+		t.Fatalf("explicit selection failed: %+v", one)
+	}
+}

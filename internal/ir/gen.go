@@ -11,6 +11,21 @@ type GenOptions struct {
 	VarsPerFunc  int
 	StmtsPerFunc int
 	Seed         int64
+
+	// ChainDepth > 0 additionally emits a deterministic chain of that many
+	// functions, each calling the next, threading allocations down through
+	// parameters and back up through returns with a load and a store at
+	// every level. Random functions call into the chain like any other
+	// callee, so solver work gets call chains (and copy chains) as deep as
+	// the option instead of as deep as luck. 0 keeps the classic shape —
+	// and the exact statement stream of earlier versions for a given seed.
+	ChainDepth int
+
+	// LoadStoreWeight >= 2 makes load and store statements that many times
+	// likelier than the other kinds, producing the dense dereference webs
+	// that dominate online solving. Values <= 1 keep the uniform mix — and
+	// the exact statement stream of earlier versions for a given seed.
+	LoadStoreWeight int
 }
 
 // Generate produces a random but valid program: every function has local
@@ -24,7 +39,14 @@ func Generate(opts GenOptions) *Program {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	prog := &Program{}
 
-	// Leaf-to-root generation: function fi may call f0..f(i-1).
+	// The deterministic call chain comes first (c0 is the leaf), so random
+	// functions can treat chain members as ordinary earlier callees.
+	for d := 0; d < opts.ChainDepth; d++ {
+		prog.Funcs = append(prog.Funcs, chainFunc(d))
+	}
+
+	// Leaf-to-root generation: function fi may call every function
+	// generated before it.
 	for i := 0; i < opts.Funcs; i++ {
 		name := fmt.Sprintf("f%d", i)
 		nparams := rng.Intn(3)
@@ -32,11 +54,11 @@ func Generate(opts GenOptions) *Program {
 		for k := 0; k < nparams; k++ {
 			f.Params = append(f.Params, fmt.Sprintf("a%d", k))
 		}
-		genBody(f, prog, rng, opts, i)
+		genBody(f, prog, rng, opts, opts.ChainDepth+i)
 		prog.Funcs = append(prog.Funcs, f)
 	}
 	main := &Func{Name: "main"}
-	genBody(main, prog, rng, opts, opts.Funcs)
+	genBody(main, prog, rng, opts, opts.ChainDepth+opts.Funcs)
 	prog.Funcs = append(prog.Funcs, main)
 	if err := prog.Validate(); err != nil {
 		panic("ir: generator produced invalid program: " + err.Error())
@@ -85,21 +107,22 @@ func genBody(f *Func, prog *Program, rng *rand.Rand, opts GenOptions, idx int) {
 			return Stmt{Kind: Store, Dst: dst, Src: src}
 		}
 	}
+	kinds := kindTable(opts.LoadStoreWeight)
 	for s := 0; s < opts.StmtsPerFunc; s++ {
 		dst, src := pick(), pick()
 		if dst == "" || src == "" {
 			break
 		}
-		switch rng.Intn(9) {
-		case 0:
+		switch kinds[rng.Intn(len(kinds))] {
+		case Alloc:
 			f.Body = append(f.Body, Stmt{Kind: Alloc, Dst: dst, Site: newSite()})
-		case 1:
+		case Copy:
 			f.Body = append(f.Body, Stmt{Kind: Copy, Dst: dst, Src: src})
-		case 2:
+		case Load:
 			f.Body = append(f.Body, Stmt{Kind: Load, Dst: dst, Src: src})
-		case 3:
+		case Store:
 			f.Body = append(f.Body, Stmt{Kind: Store, Dst: dst, Src: src})
-		case 4, 5:
+		case Call:
 			if idx == 0 || len(prog.Funcs) == 0 {
 				f.Body = append(f.Body, Stmt{Kind: Copy, Dst: dst, Src: src})
 				continue
@@ -110,7 +133,7 @@ func genBody(f *Func, prog *Program, rng *rand.Rand, opts GenOptions, idx int) {
 				args[i] = pick()
 			}
 			f.Body = append(f.Body, Stmt{Kind: Call, Dst: dst, Callee: callee.Name, Args: args})
-		case 6:
+		case Branch:
 			br := Stmt{Kind: Branch}
 			for k := rng.Intn(3) + 1; k > 0; k-- {
 				br.Then = append(br.Then, simple())
@@ -119,15 +142,59 @@ func genBody(f *Func, prog *Program, rng *rand.Rand, opts GenOptions, idx int) {
 				br.Else = append(br.Else, simple())
 			}
 			f.Body = append(f.Body, br)
-		case 7:
+		case Source:
 			f.Body = append(f.Body, Stmt{Kind: Source, Dst: dst, Site: newSite()})
-		case 8:
+		case Sink:
 			f.Body = append(f.Body, Stmt{Kind: Sink, Src: src})
 		}
 	}
 	if f.Name != "main" {
 		f.Body = append(f.Body, Stmt{Kind: Return, Src: pick()})
 	}
+}
+
+// kindTable is the statement-kind lottery: one entry per outcome of a
+// single rng draw. The weight-1 layout reproduces the historical
+// rng.Intn(9) dispatch (call held two slots) exactly, so old seeds keep
+// generating byte-identical programs; larger weights repeat the load and
+// store slots.
+func kindTable(loadStoreWeight int) []StmtKind {
+	w := loadStoreWeight
+	if w < 1 {
+		w = 1
+	}
+	table := []StmtKind{Alloc, Copy}
+	for i := 0; i < w; i++ {
+		table = append(table, Load, Store)
+	}
+	return append(table, Call, Call, Branch, Source, Sink)
+}
+
+// chainFunc builds member d of the deterministic call chain: each member
+// allocates, hands the fresh object to the next member down, stores the
+// returned value through its parameter, loads it back, and returns it —
+// a call chain, a copy chain (through returns), and a load/store pair per
+// level, all ChainDepth deep.
+func chainFunc(d int) *Func {
+	name := fmt.Sprintf("c%d", d)
+	f := &Func{Name: name, Params: []string{"p"}}
+	f.Body = append(f.Body, Stmt{Kind: Alloc, Dst: "v0", Site: name + "_A1"})
+	if d == 0 {
+		f.Body = append(f.Body,
+			Stmt{Kind: Store, Dst: "p", Src: "v0"},
+			Stmt{Kind: Load, Dst: "u", Src: "p"},
+			Stmt{Kind: Return, Src: "u"},
+		)
+		return f
+	}
+	f.Body = append(f.Body,
+		Stmt{Kind: Call, Dst: "t", Callee: fmt.Sprintf("c%d", d-1), Args: []string{"v0"}},
+		Stmt{Kind: Store, Dst: "p", Src: "t"},
+		Stmt{Kind: Load, Dst: "u", Src: "v0"},
+		Stmt{Kind: Copy, Dst: "w", Src: "t"},
+		Stmt{Kind: Return, Src: "w"},
+	)
+	return f
 }
 
 func min(a, b int) int {

@@ -182,10 +182,21 @@ type AnalysisResult = anders.Result
 // ParseProgram reads the textual pointer IR.
 func ParseProgram(r io.Reader) (*Program, error) { return ir.Parse(r) }
 
+// AnalysisOptions configure the Andersen engine: clone depth, worker
+// count for the parallel wave-propagation phase, and the HVN ablation
+// switch. The result is identical for every worker count.
+type AnalysisOptions = anders.Options
+
 // Analyze runs the Andersen-style inclusion-based analysis. cloneDepth > 0
 // applies k-callsite cloning with heap cloning before solving.
 func Analyze(prog *Program, cloneDepth int) (*AnalysisResult, error) {
-	return anders.Analyze(prog, &anders.Options{CloneDepth: cloneDepth})
+	return AnalyzeWith(prog, AnalysisOptions{CloneDepth: cloneDepth})
+}
+
+// AnalyzeWith runs the analysis with full engine options, including the
+// `-j` worker count of the wave-propagation solver.
+func AnalyzeWith(prog *Program, opts AnalysisOptions) (*AnalysisResult, error) {
+	return anders.Analyze(prog, &opts)
 }
 
 // FlowResult is the outcome of the bundled flow-sensitive analysis.
