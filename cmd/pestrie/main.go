@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pestrie encode -in pm.ptm -out pm.pes [-random-order] [-merge-objects] [-j N]
+//	pestrie encode -in pm.ptm -out pm.pes [-v2] [-random-order] [-merge-objects] [-j N]
 //	pestrie info -in pm.pes [-j N]
 //	pestrie query -in pm.pes -op isalias -p 3 -q 7
 //	pestrie query -in pm.pes -op aliases|pointsto -p 3
@@ -21,6 +21,10 @@
 // lazily on first query, cold indexes are evicted to stay under the memory
 // budget, and rewritten files are hot-swapped in without a restart.
 // -pprof mounts net/http/pprof for profiling the eviction hot path.
+//
+// encode -v2 writes the zero-copy PES2 format: info, query, and serve
+// memory-map such files and answer queries straight off the mapping
+// instead of decoding them. Replace a served PES2 file only by rename.
 //
 // Matrix files (.ptm) are produced by cmd/ptagen.
 package main
@@ -368,6 +372,7 @@ func encode(args []string) error {
 	seed := fs.Int64("seed", 1, "seed for -random-order")
 	mergeObjects := fs.Bool("merge-objects", false, "merge equivalent objects into shared origins")
 	noPrune := fs.Bool("no-prune", false, "disable Theorem-2 rectangle pruning")
+	v2 := fs.Bool("v2", false, "write the zero-copy PES2 format (memory-mapped by readers; larger than PES1 but opens without a decode)")
 	jobs := fs.Int("j", 0, "construction worker count (0 = GOMAXPROCS, 1 = sequential); output is identical for any value")
 	fs.Parse(args)
 	if (*in == "") == (*facts == "") || *out == "" {
@@ -402,7 +407,13 @@ func encode(args []string) error {
 	}
 	var trie *pestrie.Trie
 	dur := perf.Time(func() { trie = pestrie.Build(pm, opts) })
-	if err := pestrie.WriteFile(trie, *out); err != nil {
+	format := "PES1"
+	if *v2 {
+		format = "PES2"
+		if err := pestrie.WriteFileV2(trie.Index(), *out); err != nil {
+			return err
+		}
+	} else if err := pestrie.WriteFile(trie, *out); err != nil {
 		return err
 	}
 	st, err := os.Stat(*out)
@@ -413,7 +424,7 @@ func encode(args []string) error {
 	fmt.Printf("encoded %d pointers × %d objects in %s\n", pm.NumPointers, pm.NumObjects, dur)
 	fmt.Printf("groups=%d tree-edges=%d cross-edges=%d rectangles=%d (pruned %d)\n",
 		s.Groups, s.TreeEdges, s.CrossEdges, s.Rectangles, s.Pruned)
-	fmt.Printf("file: %s (%s)\n", *out, perf.Bytes(st.Size()))
+	fmt.Printf("file: %s (%s, %s)\n", *out, format, perf.Bytes(st.Size()))
 	return nil
 }
 
@@ -427,20 +438,22 @@ func info(args []string) error {
 	}
 	var idx *pestrie.Index
 	var err error
-	dur := perf.Time(func() {
-		var f *os.File
-		if f, err = os.Open(*in); err != nil {
-			return
-		}
-		defer f.Close()
-		idx, err = pestrie.LoadWith(f, *jobs)
-	})
+	dur := perf.Time(func() { idx, err = core.OpenFileWith(*in, *jobs) })
 	if err != nil {
 		return err
 	}
-	fmt.Printf("pointers=%d objects=%d groups=%d rectangles=%d\n",
-		idx.NumPointers, idx.NumObjects, idx.NumGroups, idx.Rectangles())
-	fmt.Printf("decode time: %s, query structure: %s\n", dur, perf.Bytes(idx.MemoryFootprint()))
+	defer idx.Close()
+	format := "PES1"
+	if idx.Mapped() {
+		format = "PES2"
+	}
+	fmt.Printf("format=%s pointers=%d objects=%d groups=%d rectangles=%d\n",
+		format, idx.NumPointers, idx.NumObjects, idx.NumGroups, idx.Rectangles())
+	if idx.Mapped() {
+		fmt.Printf("open time: %s, mapped zero-copy: %s\n", dur, perf.Bytes(idx.MemoryFootprint()))
+	} else {
+		fmt.Printf("decode time: %s, query structure: %s\n", dur, perf.Bytes(idx.MemoryFootprint()))
+	}
 	return nil
 }
 
@@ -455,10 +468,11 @@ func query(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("query needs -in")
 	}
-	idx, err := pestrie.LoadFile(*in)
+	idx, err := pestrie.OpenFile(*in)
 	if err != nil {
 		return err
 	}
+	defer idx.Close()
 	printList := func(xs []int) {
 		sort.Ints(xs)
 		fmt.Println(len(xs), "results:", xs)

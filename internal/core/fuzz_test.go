@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -39,6 +40,61 @@ func FuzzLoad(f *testing.F) {
 		}
 		for o := -1; o <= ix.NumObjects; o++ {
 			ix.ListPointedBy(o)
+		}
+	})
+}
+
+// FuzzLoadV2 hardens the zero-copy PES2 reader: the mapped path aliases
+// untrusted bytes directly, so arbitrary input must produce an error or a
+// fully query-safe index — never a panic, never a read past the image.
+//
+// PES2 images are page-aligned, so the smallest seed is ~45KB; without a cap
+// the engine sinks its whole budget into minimizing coverage-preserving
+// mutants of it. Run with -fuzzminimizetime=50x to keep throughput sane.
+func FuzzLoadV2(f *testing.F) {
+	var seed bytes.Buffer
+	ix := Build(paperPM(), &Options{Order: paperOrder}).Index()
+	if _, err := ix.WriteToV2(&seed); err != nil {
+		f.Fatal(err)
+	}
+	img := seed.Bytes()
+	f.Add(append([]byte(nil), img...))
+	f.Add([]byte("PES2"))
+	f.Add([]byte{})
+	// Truncation anywhere in the header, table, or a section.
+	f.Add(append([]byte(nil), img[:32]...))
+	f.Add(append([]byte(nil), img[:v2HeaderSize]...))
+	f.Add(append([]byte(nil), img[:len(img)/2]...))
+	// Targeted corruption seeds: a misaligned section offset, two sections
+	// made to overlap, and an out-of-range timestamp — the classes the
+	// mapped reader's bounds validation exists to catch.
+	corrupt := func(mutate func([]byte)) []byte {
+		c := append([]byte(nil), img...)
+		mutate(c)
+		return c
+	}
+	f.Add(corrupt(func(c []byte) { c[64]++ }))                   // misalign section 0
+	f.Add(corrupt(func(c []byte) { copy(c[64+16:], c[64:80]) })) // section 1 overlaps section 0
+	f.Add(corrupt(func(c []byte) {
+		off := binary.LittleEndian.Uint64(c[64:])
+		binary.LittleEndian.PutUint32(c[off:], 1<<20) // pointer timestamp far past numGroups
+	}))
+	f.Add(corrupt(func(c []byte) { binary.LittleEndian.PutUint64(c[64+16*secEnts+8:], 1<<40) })) // length bomb
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := LoadMapped(data, nil)
+		if err != nil {
+			return
+		}
+		for p := -1; p <= ix.NumPointers; p++ {
+			ix.ListPointsTo(p)
+			ix.ListAliases(p)
+			ix.IsAlias(p, 0)
+			ix.IsAlias(p, ix.NumPointers-1)
+		}
+		for o := -1; o <= ix.NumObjects; o++ {
+			ix.ListPointedBy(o)
+			ix.PointsTo(0, o)
 		}
 	})
 }

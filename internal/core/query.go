@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bufio"
+	"fmt"
 	"io"
 	"sort"
 
@@ -17,13 +19,18 @@ import (
 //	                          column Ip
 //	ListPointsTo  O(K)      — own origin objects plus Case-1 rectangles
 //	ListPointedBy O(K)      — own PES pointers plus mirrored Case-1 ranges
+//
+// Every query array is a flat slice of fixed-width elements, which is what
+// lets the PES2 format serve them zero-copy: a mapped .pes2 file *is* this
+// struct, with each slice aliasing a validated section of the mapping (see
+// filev2.go). Decoded PES1 files build the same slices on the heap.
 type Index struct {
 	NumPointers int
 	NumObjects  int
 	NumGroups   int
 
-	pointerTS []int // timestamp per pointer (-1 unplaced)
-	objectTS  []int // timestamp per object
+	pointerTS []int32 // timestamp per pointer (-1 unplaced)
+	objectTS  []int32 // timestamp per object
 
 	// Pointers grouped by timestamp, flattened so that any timestamp
 	// interval [lo, hi] maps to the contiguous slice
@@ -42,19 +49,27 @@ type Index struct {
 	// the binary search of §4 step 1 into a direct lookup — PES
 	// identifiers are recovered once at decode time anyway, so queries
 	// get them in O(1).
-	originTS []int
-	pesEnd   []int
+	originTS []int32
+	pesEnd   []int32
 	pesOfTS  []int32
 
-	// ptList[ts] holds, sorted by lo, one entry per rectangle whose X side
-	// (or, for mirrored entries, Y side) covers ts (§4, step 2). Ranges in
-	// a single column are pairwise disjoint with Theorem-2 pruning on;
-	// with pruning off, surviving Case-1 ranges can nest (see
-	// dedupColumn), which ListAliases handles by sweeping ranges in
-	// ascending order and clipping overlap.
-	ptList [][]listEntry
+	// Column lists, flattened like ptrsFlat: column ts is
+	// ents[entStart[ts]:entStart[ts+1]], holding, sorted by lo, one entry
+	// per rectangle whose X side (or, for mirrored entries, Y side) covers
+	// ts (§4, step 2). Ranges in a single column are pairwise disjoint
+	// with Theorem-2 pruning on; with pruning off, surviving Case-1 ranges
+	// can nest (see dedupColumn), which ListAliases handles by sweeping
+	// ranges in ascending order and clipping overlap.
+	ents     []listEntry
+	entStart []int32 // length NumGroups+1
 
 	rectCount int
+
+	// Zero-copy state: when the slices above alias a caller-owned byte
+	// region (a PES2 mapping or buffer), backing is its total size and
+	// closer releases it. Both are zero for heap-decoded indexes.
+	backing int64
+	closer  func() error
 }
 
 type listEntry struct {
@@ -64,18 +79,53 @@ type listEntry struct {
 }
 
 // listEntrySize is unsafe.Sizeof(listEntry{}): two int32 plus two bools,
-// padded to int32 alignment. TestListEntrySize pins this against drift.
+// padded to int32 alignment. This is also the PES2 on-disk record size —
+// the ents section of a mapped file is aliased directly as []listEntry —
+// so TestListEntrySize additionally pins every field offset.
 const listEntrySize = 12
 
-// Load decodes a persistent file written by (*Trie).WriteTo into an Index,
-// building the query structure with GOMAXPROCS workers. The resulting
-// index is identical for every worker count.
+// col returns the column list for timestamp ts.
+func (ix *Index) col(ts int) []listEntry {
+	return ix.ents[ix.entStart[ts]:ix.entStart[ts+1]]
+}
+
+// Mapped reports whether the index serves queries straight off a mapped
+// PES2 file (or caller-owned buffer) instead of heap-decoded slices.
+func (ix *Index) Mapped() bool { return ix.backing != 0 }
+
+// Close releases the mapping backing a zero-copy index. It is a no-op for
+// heap-decoded indexes and after the first call. The caller must guarantee
+// no query is in flight: unmapping under a reader is a fault, not an error
+// (internal/store's refcount pinning provides exactly this guarantee).
+func (ix *Index) Close() error {
+	c := ix.closer
+	ix.closer = nil
+	if c == nil {
+		return nil
+	}
+	return c()
+}
+
+// Load reads a persistent file into an Index, dispatching on magic: PES1
+// files (written by (*Trie).WriteTo) are decoded onto the heap with
+// GOMAXPROCS workers, PES2 files (written by (*Index).WriteToV2) become a
+// zero-copy view over the slurped image with no per-entry decode. The
+// resulting index is identical for every worker count.
 func Load(r io.Reader) (*Index, error) { return LoadWith(r, 0) }
 
 // LoadWith is Load with an explicit decode worker count (<= 0 selects
-// GOMAXPROCS, 1 is fully sequential).
+// GOMAXPROCS, 1 is fully sequential; the count is irrelevant for PES2,
+// which has no decode step).
 func LoadWith(r io.Reader, workers int) (*Index, error) {
-	fc, err := readFile(r)
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(len(v2Magic)); err == nil && string(magic) == v2Magic {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("pestrie: reading PES2 image: %w", err)
+		}
+		return LoadMapped(data, nil)
+	}
+	fc, err := readFile(br)
 	if err != nil {
 		return nil, err
 	}
@@ -186,9 +236,8 @@ func buildIndex(fc *fileContents, workers int) *Index {
 		NumPointers: fc.numPointers,
 		NumObjects:  fc.numObjects,
 		NumGroups:   numGroups,
-		pointerTS:   fc.pointerTS,
-		objectTS:    fc.objectTS,
-		ptList:      make([][]listEntry, numGroups),
+		pointerTS:   toInt32s(fc.pointerTS),
+		objectTS:    toInt32s(fc.objectTS),
 		rectCount:   len(fc.rects),
 	}
 	// Flatten pointers and objects by timestamp.
@@ -200,16 +249,16 @@ func buildIndex(fc *fileContents, workers int) *Index {
 	// PES k ends right before PES k+1 starts.
 	for ts := 0; ts < numGroups; ts++ {
 		if ix.objStart[ts+1] > ix.objStart[ts] {
-			ix.originTS = append(ix.originTS, ts)
+			ix.originTS = append(ix.originTS, int32(ts))
 		}
 	}
-	ix.pesEnd = make([]int, len(ix.originTS))
+	ix.pesEnd = make([]int32, len(ix.originTS))
 	ix.pesOfTS = make([]int32, numGroups)
 	for k := range ix.originTS {
 		if k+1 < len(ix.originTS) {
 			ix.pesEnd[k] = ix.originTS[k+1] - 1
 		} else {
-			ix.pesEnd[k] = numGroups - 1
+			ix.pesEnd[k] = int32(numGroups - 1)
 		}
 	}
 	par.Chunks(len(ix.originTS), workers, func(lo, hi int) {
@@ -223,21 +272,22 @@ func buildIndex(fc *fileContents, workers int) *Index {
 	// Column lists: each worker owns a contiguous timestamp shard and
 	// scans the rectangle stream for entries landing in it, so per-column
 	// append order matches the sequential rectangle order exactly.
+	cols := make([][]listEntry, numGroups)
 	par.Chunks(numGroups, workers, func(shardLo, shardHi int) {
 		for _, r := range fc.rects {
 			for a := maxInt(r.X1, shardLo); a <= minInt(r.X2, shardHi-1); a++ {
-				ix.ptList[a] = append(ix.ptList[a],
+				cols[a] = append(cols[a],
 					listEntry{lo: int32(r.Y1), hi: int32(r.Y2), case1: r.Case1})
 			}
 			for b := maxInt(r.Y1, shardLo); b <= minInt(r.Y2, shardHi-1); b++ {
-				ix.ptList[b] = append(ix.ptList[b],
+				cols[b] = append(cols[b],
 					listEntry{lo: int32(r.X1), hi: int32(r.X2), case1: r.Case1, mirror: true})
 			}
 		}
 	})
 	par.Chunks(numGroups, workers, func(lo, hi int) {
 		for ts := lo; ts < hi; ts++ {
-			l := ix.ptList[ts]
+			l := cols[ts]
 			sort.Slice(l, func(i, j int) bool {
 				if l[i].lo != l[j].lo {
 					return l[i].lo < l[j].lo
@@ -252,10 +302,34 @@ func buildIndex(fc *fileContents, workers int) *Index {
 				// sorted column is unique however it was produced.
 				return !l[i].mirror && l[j].mirror
 			})
-			ix.ptList[ts] = dedupColumn(l)
+			cols[ts] = dedupColumn(l)
+		}
+	})
+	// Flatten the deduped columns into the ents/entStart layout queries
+	// (and the PES2 writer) consume. Each column copies into a disjoint,
+	// position-determined range, so the flat array is identical for any
+	// worker count.
+	ix.entStart = make([]int32, numGroups+1)
+	for ts, l := range cols {
+		ix.entStart[ts+1] = ix.entStart[ts] + int32(len(l))
+	}
+	ix.ents = make([]listEntry, ix.entStart[numGroups])
+	par.Chunks(numGroups, workers, func(lo, hi int) {
+		for ts := lo; ts < hi; ts++ {
+			copy(ix.ents[ix.entStart[ts]:ix.entStart[ts+1]], cols[ts])
 		}
 	})
 	return ix
+}
+
+// toInt32s narrows decode-time timestamp slices; every value fits int32
+// because readFile bounds them by numGroups < 2³⁰.
+func toInt32s(xs []int) []int32 {
+	out := make([]int32, len(xs))
+	for i, x := range xs {
+		out[i] = int32(x)
+	}
+	return out
 }
 
 func minInt(a, b int) int {
@@ -344,7 +418,7 @@ func (ix *Index) IsAlias(p, q int) bool {
 	if x > y {
 		x, y = y, x
 	}
-	_, ok := entryCovering(ix.ptList[x], int32(y))
+	_, ok := entryCovering(ix.col(x), int32(y))
 	return ok
 }
 
@@ -363,8 +437,8 @@ func (ix *Index) ListAliases(p int) []int {
 	// ranges (possible with pruning off) contribute every timestamp
 	// exactly once, and the two passes (count, then fill) agree exactly.
 	k := ix.pesOf(ts)
-	pesLo, pesHi := ix.originTS[k], ix.pesEnd[k]
-	list := ix.ptList[ts]
+	pesLo, pesHi := int(ix.originTS[k]), int(ix.pesEnd[k])
+	list := ix.col(ts)
 	sweep := func(visit func(lo, hi int)) {
 		prevHi := -1
 		emit := func(lo, hi int) {
@@ -425,12 +499,12 @@ func (ix *Index) ListPointsTo(p int) []int {
 	var out []int
 	// p points to the object(s) of its own PES origin.
 	k := ix.pesOf(ts)
-	for _, o := range ix.objsAt(ix.originTS[k]) {
+	for _, o := range ix.objsAt(int(ix.originTS[k])) {
 		out = append(out, int(o))
 	}
 	// Case-1 rectangles whose X side covers ts: their Y1 is the timestamp
 	// of an origin whose object(s) p also points to.
-	for _, e := range ix.ptList[ts] {
+	for _, e := range ix.col(ts) {
 		if e.case1 && !e.mirror {
 			for _, o := range ix.objsAt(int(e.lo)) {
 				out = append(out, int(o))
@@ -446,14 +520,14 @@ func (ix *Index) ListPointedBy(o int) []int {
 	if o < 0 || o >= ix.NumObjects {
 		return nil
 	}
-	ts := ix.objectTS[o]
+	ts := int(ix.objectTS[o])
 	var out []int
 	// Every pointer in o's PES points to o.
 	k := ix.pesOf(ts)
-	out = append(out, toInts(ix.ptrsInRange(ix.originTS[k], ix.pesEnd[k]))...)
+	out = append(out, toInts(ix.ptrsInRange(int(ix.originTS[k]), int(ix.pesEnd[k])))...)
 	// Mirrored Case-1 entries at the origin column: their ranges are the
 	// ξ-reachable subtrees of o's cross edges.
-	for _, e := range ix.ptList[ts] {
+	for _, e := range ix.col(ts) {
 		if e.case1 && e.mirror {
 			out = append(out, toInts(ix.ptrsInRange(int(e.lo), int(e.hi)))...)
 		}
@@ -473,20 +547,21 @@ func (ix *Index) tsOfPointer(p int) int {
 	if p < 0 || p >= ix.NumPointers {
 		return -1
 	}
-	return ix.pointerTS[p]
+	return int(ix.pointerTS[p])
 }
 
-// MemoryFootprint estimates the resident size of the query structure in
-// bytes (used by the Table-7 "querying memory" column).
+// MemoryFootprint reports the resident size of the query structure in
+// bytes (used by the Table-7 "querying memory" column). A zero-copy index
+// charges the full mapped region — exactly the pages the kernel may keep
+// resident for it — which is what internal/store budgets against.
 func (ix *Index) MemoryFootprint() int64 {
-	var n int64
-	n += int64(len(ix.pointerTS)+len(ix.objectTS)+len(ix.originTS)+len(ix.pesEnd)) * 8
-	n += int64(len(ix.pesOfTS)) * 4
-	for _, l := range ix.ptList {
-		n += int64(len(l))*listEntrySize + 24
+	if ix.backing != 0 {
+		return ix.backing
 	}
-	n += int64(len(ix.ptrsFlat)+len(ix.startOfTS)) * 4
-	n += int64(len(ix.objsFlat)+len(ix.objStart)) * 4
+	var n int64
+	n += int64(len(ix.pointerTS)+len(ix.objectTS)+len(ix.originTS)+len(ix.pesEnd)+len(ix.pesOfTS)) * 4
+	n += int64(len(ix.ptrsFlat)+len(ix.startOfTS)+len(ix.objsFlat)+len(ix.objStart)+len(ix.entStart)) * 4
+	n += int64(len(ix.ents)) * listEntrySize
 	return n
 }
 

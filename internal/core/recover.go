@@ -16,11 +16,11 @@ func (ix *Index) PointsTo(p, o int) bool {
 	if tp < 0 || o < 0 || o >= ix.NumObjects {
 		return false
 	}
-	to := ix.objectTS[o]
+	to := int(ix.objectTS[o])
 	if ix.pesOf(tp) == ix.pesOf(to) {
 		return true
 	}
-	e, ok := entryCovering(ix.ptList[tp], int32(to))
+	e, ok := entryCovering(ix.col(tp), int32(to))
 	return ok && e.case1
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"time"
 
@@ -34,6 +35,15 @@ type BuildBenchRow struct {
 	DecodeSpeedup    float64 `json:"decode_speedup"`
 
 	ByteIdentical bool `json:"byte_identical"` // -j1 and -jN .pes files compared
+
+	// Zero-copy PES2 columns: the same index persisted as page-aligned
+	// columns, opened cold from a real file via mmap. The speedup compares
+	// the cold open against the sequential PES1 decode — the two ways a
+	// process can go from file to first answered query.
+	PesV2Bytes    int64   `json:"pes_v2_bytes"`
+	ColdOpenV2NS  int64   `json:"cold_open_v2_ns"`
+	V2OpenSpeedup float64 `json:"v2_open_speedup"`
+	V2Identical   bool    `json:"v2_identical"` // mapped answers spot-checked against decoded
 }
 
 // BuildBench runs the construction/decode speedup experiment: every preset
@@ -87,12 +97,70 @@ func buildBenchOne(w workload) BuildBenchRow {
 	row.DecodeSerialNS = time.Since(start).Nanoseconds()
 
 	start = time.Now()
-	if _, err := core.LoadWith(bytes.NewReader(raw), w.workers); err != nil {
+	decoded, err := core.LoadWith(bytes.NewReader(raw), w.workers)
+	if err != nil {
 		panic(err)
 	}
 	row.DecodeParallelNS = time.Since(start).Nanoseconds()
 	row.DecodeSpeedup = nsRatio(row.DecodeSerialNS, row.DecodeParallelNS)
+
+	benchV2(decoded, &row)
 	return row
+}
+
+// benchV2 persists the decoded index as PES2 to a real temp file and
+// measures a cold OpenFile — mmap plus validation, no decode — then
+// spot-checks the mapped index against the heap one.
+func benchV2(decoded *core.Index, row *BuildBenchRow) {
+	f, err := os.CreateTemp("", "pestrie-bench-*.pes")
+	if err != nil {
+		panic(err)
+	}
+	path := f.Name()
+	defer os.Remove(path)
+	n, err := decoded.WriteToV2(f)
+	if err != nil {
+		panic(err)
+	}
+	if err := f.Close(); err != nil {
+		panic(err)
+	}
+	row.PesV2Bytes = n
+
+	start := time.Now()
+	mapped, err := core.OpenFile(path)
+	if err != nil {
+		panic(err)
+	}
+	row.ColdOpenV2NS = time.Since(start).Nanoseconds()
+	row.V2OpenSpeedup = nsRatio(row.DecodeSerialNS, row.ColdOpenV2NS)
+	defer mapped.Close()
+
+	row.V2Identical = mapped.Mapped()
+	pStride := 1 + decoded.NumPointers/64
+	for p := 0; p < decoded.NumPointers && row.V2Identical; p += pStride {
+		row.V2Identical = equalIntSlices(mapped.ListPointsTo(p), decoded.ListPointsTo(p)) &&
+			equalIntSlices(mapped.ListAliases(p), decoded.ListAliases(p))
+	}
+	oStride := 1 + decoded.NumObjects/64
+	for o := 0; o < decoded.NumObjects && row.V2Identical; o += oStride {
+		row.V2Identical = equalIntSlices(mapped.ListPointedBy(o), decoded.ListPointedBy(o))
+	}
+	if !row.V2Identical {
+		panic(fmt.Sprintf("%s: PES2 mapped answers diverge from PES1 decode", row.Name))
+	}
+}
+
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func nsRatio(num, den int64) float64 {
@@ -107,14 +175,15 @@ func RenderBuildBench(rows []BuildBenchRow) string {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "Build bench: construction and decode, -j1 vs -jN (GOMAXPROCS=%d)\n",
 		runtime.GOMAXPROCS(0))
-	fmt.Fprintf(&b, "%-12s %4s | %10s %10s %7s | %10s %10s %7s | %s\n",
-		"program", "j", "build-j1", "build-jN", "speedup", "dec-j1", "dec-jN", "speedup", "identical")
+	fmt.Fprintf(&b, "%-12s %4s | %10s %10s %7s | %10s %10s %7s | %10s %7s | %s\n",
+		"program", "j", "build-j1", "build-jN", "speedup", "dec-j1", "dec-jN", "speedup", "v2-open", "speedup", "identical")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-12s %4d | %8.1fms %8.1fms %6.2f× | %8.1fms %8.1fms %6.2f× | %v\n",
+		fmt.Fprintf(&b, "%-12s %4d | %8.1fms %8.1fms %6.2f× | %8.1fms %8.1fms %6.2f× | %8.3fms %6.0f× | %v\n",
 			r.Name, r.Workers,
 			float64(r.BuildSerialNS)/1e6, float64(r.BuildParallelNS)/1e6, r.BuildSpeedup,
 			float64(r.DecodeSerialNS)/1e6, float64(r.DecodeParallelNS)/1e6, r.DecodeSpeedup,
-			r.ByteIdentical)
+			float64(r.ColdOpenV2NS)/1e6, r.V2OpenSpeedup,
+			r.ByteIdentical && r.V2Identical)
 	}
 	return b.String()
 }

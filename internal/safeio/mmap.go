@@ -1,0 +1,49 @@
+package safeio
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file extends the package's untrusted-input discipline from streamed
+// decoders to memory-mapped files. A mapped file is still attacker-
+// controlled bytes; the extra hazards are spatial (a forged section offset
+// walks past the mapping into unmapped pages) and temporal (the file
+// shrinking under a live mapping turns loads into faults). The rules:
+//
+//  1. Every (offset, length) pair read from the file is validated against
+//     the mapping size with Section before the first dereference.
+//  2. Mappings pin an inode, not a path: publishers must replace files
+//     with rename(2), never truncate-and-rewrite in place — a mapped page
+//     past a shrunken EOF is SIGBUS, which no error path can catch.
+//  3. The mapping is read-only; decoders alias it, they never write it.
+
+// ErrSection reports a section table entry that does not fit its file.
+var ErrSection = errors.New("safeio: section out of bounds")
+
+// Section validates an untrusted (offset, length) pair against data and
+// returns the subslice data[off : off+length]. Unlike a direct slice
+// expression, it cannot panic and cannot overflow: offsets and lengths are
+// checked as uint64 before any arithmetic narrows them.
+func Section(data []byte, off, length uint64) ([]byte, error) {
+	size := uint64(len(data))
+	if off > size || length > size-off {
+		return nil, fmt.Errorf("%w: [%d, %d+%d) in %d bytes", ErrSection, off, off, length, size)
+	}
+	if off > math.MaxInt64-length { // unreachable on real files; belt and braces
+		return nil, fmt.Errorf("%w: offset overflow %d+%d", ErrSection, off, length)
+	}
+	return data[off : off+length], nil
+}
+
+// MapFile maps path read-only and returns the mapped bytes plus the
+// function that releases the mapping. On platforms without mmap it falls
+// back to reading the file into the heap, keeping the same contract.
+//
+// The returned close function must not run while any reference into data
+// is still live — after munmap every access faults. Callers that hand the
+// bytes to long-lived readers (internal/store generations) must refcount.
+func MapFile(path string) (data []byte, close func() error, err error) {
+	return mapFile(path)
+}

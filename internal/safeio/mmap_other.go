@@ -1,0 +1,15 @@
+//go:build !unix
+
+package safeio
+
+import "os"
+
+// Fallback for platforms without mmap: one heap copy, same contract. The
+// zero-copy reader neither knows nor cares whose bytes it aliases.
+func mapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,82 @@
+package safeio
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSectionBounds(t *testing.T) {
+	data := make([]byte, 100)
+	cases := []struct {
+		off, length uint64
+		ok          bool
+	}{
+		{0, 0, true},
+		{0, 100, true},
+		{100, 0, true},
+		{40, 60, true},
+		{40, 61, false},
+		{101, 0, false},
+		{math.MaxUint64, 1, false},
+		{1, math.MaxUint64, false},
+		{math.MaxUint64, math.MaxUint64, false}, // off+length wraps to the valid range
+	}
+	for _, c := range cases {
+		got, err := Section(data, c.off, c.length)
+		if c.ok != (err == nil) {
+			t.Errorf("Section(%d, %d): err = %v, want ok=%v", c.off, c.length, err, c.ok)
+			continue
+		}
+		if err != nil {
+			if !errors.Is(err, ErrSection) {
+				t.Errorf("Section(%d, %d): error %v is not ErrSection", c.off, c.length, err)
+			}
+			continue
+		}
+		if uint64(len(got)) != c.length {
+			t.Errorf("Section(%d, %d): got %d bytes", c.off, c.length, len(got))
+		}
+	}
+}
+
+func TestMapFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	want := bytes.Repeat([]byte("pestrie!"), 1000)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, closeFn, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("mapped bytes differ: %d vs %d", len(data), len(want))
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapFileEmptyAndMissing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, closeFn, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Fatalf("empty file mapped to %d bytes", len(data))
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MapFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("mapping a missing file succeeded")
+	}
+}

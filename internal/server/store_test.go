@@ -277,3 +277,64 @@ func TestPprofMount(t *testing.T) {
 		t.Fatalf("pprof disabled: status %d, want 404", resp.StatusCode)
 	}
 }
+
+// TestStoreServesMappedV2Backend serves a zero-copy PES2 file through the
+// store-backed server: answers must match direct Index calls and
+// /debug/store must report the generation as mapped at the file's size.
+func TestStoreServesMappedV2Backend(t *testing.T) {
+	dir := t.TempDir()
+	pm := testPM(77, 120, 30, 700)
+	ref := core.Build(pm, nil).Index()
+	var buf bytes.Buffer
+	if _, err := ref.WriteToV2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "zc.pes")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st := store.New(store.Options{})
+	defer st.Close()
+	if _, err := st.AddDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Store: st})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for p := 0; p < ref.NumPointers; p += 7 {
+		resp, body := postJSON(t, ts.URL+"/query",
+			queryRequest{Backend: "zc", Query: Query{Op: "pointsto", P: intp(p)}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pointsto(%d): status %d: %s", p, resp.StatusCode, body)
+		}
+		var res Result
+		if err := json.Unmarshal(body, &res); err != nil {
+			t.Fatal(err)
+		}
+		if string(res.IDs) != directIDs(t, ref.ListPointsTo(p)) {
+			t.Fatalf("pointsto(%d): served %s, direct %s", p, res.IDs, directIDs(t, ref.ListPointsTo(p)))
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap store.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(snap.Backends) != 1 {
+		t.Fatalf("backends = %+v", snap.Backends)
+	}
+	be := snap.Backends[0]
+	if !be.Loaded || !be.Mapped {
+		t.Fatalf("PES2 backend not served mapped: %+v", be)
+	}
+	if be.Bytes != int64(buf.Len()) {
+		t.Fatalf("mapped backend charged %d bytes, want file size %d", be.Bytes, buf.Len())
+	}
+}

@@ -10,13 +10,21 @@
 // A Store is a catalog of backend name → .pes path (explicit Add calls or
 // AddDir directory scans). Acquire pins a decoded generation for the
 // duration of a query; concurrent first loads of the same entry are
-// deduplicated (singleflight), and pinned generations are never freed by
+// deduplicated (singleflight, sharing the outcome — success or error —
+// with every waiter), and pinned generations are never freed by
 // eviction. Refresh (or the background reloader started by
 // Options.ReloadInterval) re-hashes files and hot-swaps changed ones: the
 // new generation is decoded off to the side and installed with a single
 // pointer swap, so in-flight queries keep their pinned old generation and
 // new queries atomically see the new one — no restart, no half-swapped
 // state.
+//
+// Zero-copy PES2 files are not decoded at all: Acquire memory-maps them
+// and serves queries straight off the mapping. The budget charge for a
+// mapped generation is the file size, and eviction (or the last Release of
+// a retired generation) unmaps it. A mapping pins the file's inode, so
+// anything rewriting a mapped .pes must replace it by rename — truncating
+// in place would fault readers.
 package store
 
 import (
@@ -27,6 +35,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -37,10 +46,16 @@ import (
 
 	"pestrie/internal/core"
 	"pestrie/internal/perf"
+	"pestrie/internal/safeio"
 )
 
 // ErrUnknown reports an Acquire for a name that is not in the catalog.
 var ErrUnknown = errors.New("store: unknown backend")
+
+// ErrDuplicate reports an Add of a backend name already in the catalog.
+// Callers that tolerate re-registration (directory rescans) match it with
+// errors.Is.
+var ErrDuplicate = errors.New("store: duplicate backend")
 
 // Options configure a Store.
 type Options struct {
@@ -64,8 +79,9 @@ type Spec struct {
 	Path string
 }
 
-// generation is one decoded image of an entry's file. Immutable after
-// construction except for the refcount bookkeeping, which Store.mu guards.
+// generation is one decoded (or mapped) image of an entry's file.
+// Immutable after construction except for the refcount bookkeeping, which
+// Store.mu guards.
 type generation struct {
 	ix    *core.Index
 	sum   [sha256.Size]byte
@@ -75,6 +91,11 @@ type generation struct {
 	refs    int  // in-flight handles pinning this generation
 	retired bool // no longer the entry's current generation
 }
+
+// free releases the generation's backing store — munmap for mapped PES2
+// generations, a no-op for heap-decoded ones. Index.Close is idempotent,
+// so converging free paths (evict vs. last release) are harmless.
+func (g *generation) free() { _ = g.ix.Close() }
 
 // dims is the last-known shape of an entry, kept across eviction so
 // monitoring can describe unloaded entries.
@@ -92,7 +113,7 @@ type entry struct {
 
 	// guarded by Store.mu:
 	gen      *generation   // current generation; nil when not loaded
-	loading  chan struct{} // non-nil while a first load is in flight
+	loading  *inflight     // non-nil while a first load is in flight
 	swapping bool          // a Refresh is decoding a replacement
 	loadErr  string        // last load/swap failure, "" when healthy
 	genSeq   int64         // bumped on every successful load or swap
@@ -107,9 +128,22 @@ type entry struct {
 	loadLat   perf.Histogram
 }
 
+// inflight is one in-progress first load. The loader stores err and then
+// closes done (the channel close publishes the write), so every waiter
+// observes the same outcome: a failed load surfaces the one error to all
+// waiters instead of letting each retry the broken file in turn.
+type inflight struct {
+	done chan struct{}
+	err  error
+}
+
 // Store is a managed, memory-budgeted catalog of decoded indexes.
 type Store struct {
 	opts Options
+
+	// loadFn, when non-nil, replaces loadGeneration — a seam for tests
+	// that need to control load timing or force failures.
+	loadFn func(path string) (*generation, dims, error)
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -184,7 +218,7 @@ func (s *Store) add(name, path string, fromDir bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.entries[name]; dup {
-		return fmt.Errorf("store: duplicate backend %q", name)
+		return fmt.Errorf("%w %q", ErrDuplicate, name)
 	}
 	s.entries[name] = &entry{name: name, path: path, fromDir: fromDir}
 	return nil
@@ -224,7 +258,7 @@ func (s *Store) scanDir(dir string) (int, error) {
 		switch {
 		case err == nil:
 			added++
-		case strings.Contains(err.Error(), "duplicate"):
+		case errors.Is(err, ErrDuplicate):
 			// Already catalogued (a rescan, or an explicit Add shadowing
 			// the directory); keep the existing entry.
 		default:
@@ -275,6 +309,7 @@ func (h *Handle) Release() {
 		h.g.refs--
 		if h.g.refs == 0 && h.g.retired {
 			s.total -= h.g.bytes
+			h.g.free()
 		}
 		// Releasing may be what brings a pinned-over-budget store back
 		// under its budget; collect now rather than waiting for the next
@@ -311,30 +346,37 @@ func (s *Store) Acquire(ctx context.Context, name string) (*Handle, error) {
 			e.misses.Add(1)
 			counted = true
 		}
-		if ch := e.loading; ch != nil {
+		if inf := e.loading; inf != nil {
 			s.mu.Unlock()
 			select {
-			case <-ch:
+			case <-inf.done:
+				if inf.err != nil {
+					// Share the loader's error rather than looping back
+					// and re-attempting the same broken file ourselves.
+					return nil, inf.err
+				}
 				continue
 			case <-ctx.Done():
 				return nil, fmt.Errorf("store: waiting for %q to load: %w", name, ctx.Err())
 			}
 		}
-		ch := make(chan struct{})
-		e.loading = ch
+		inf := &inflight{done: make(chan struct{})}
+		e.loading = inf
 		s.mu.Unlock()
 
 		start := time.Now()
-		gen, info, err := loadGeneration(e.path)
+		gen, info, err := s.load(e.path)
 
 		s.mu.Lock()
 		e.loading = nil
-		close(ch)
 		if err != nil {
 			e.loadErr = err.Error()
+			inf.err = fmt.Errorf("store: loading backend %q from %s: %w", name, e.path, err)
+			close(inf.done)
 			s.mu.Unlock()
-			return nil, fmt.Errorf("store: loading backend %q from %s: %w", name, e.path, err)
+			return nil, inf.err
 		}
+		close(inf.done)
 		e.loadErr = ""
 		e.loads.Add(1)
 		e.loadLat.Observe(time.Since(start))
@@ -351,18 +393,48 @@ func (s *Store) Acquire(ctx context.Context, name string) (*Handle, error) {
 	}
 }
 
-// loadGeneration reads, hashes, and decodes one .pes image. The whole file
-// is read first so the checksum always covers exactly the bytes that were
-// decoded, even when a concurrent writer is mid-rewrite.
+func (s *Store) load(path string) (*generation, dims, error) {
+	if s.loadFn != nil {
+		return s.loadFn(path)
+	}
+	return loadGeneration(path)
+}
+
+// loadGeneration turns one .pes file into a generation, picking the path
+// by magic. PES1 files are read whole and decoded onto the heap — the
+// checksum then covers exactly the bytes that were decoded, even when a
+// concurrent writer is mid-rewrite. PES2 files are memory-mapped and
+// served zero-copy: the generation's budget charge is the file size, and
+// freeing it unmaps. The mapping pins the inode, so PES2 rewriters must
+// replace the file by rename, never truncate it in place.
 func loadGeneration(path string) (*generation, dims, error) {
-	raw, err := os.ReadFile(path)
+	magic, err := sniffMagic(path)
 	if err != nil {
 		return nil, dims{}, err
 	}
-	sum := sha256.Sum256(raw)
-	ix, err := core.Load(bytes.NewReader(raw))
-	if err != nil {
-		return nil, dims{}, err
+	var ix *core.Index
+	var sum [sha256.Size]byte
+	if magic == "PES2" {
+		raw, closeMap, mapErr := safeio.MapFile(path)
+		if mapErr != nil {
+			return nil, dims{}, mapErr
+		}
+		sum = sha256.Sum256(raw)
+		ix, err = core.LoadMapped(raw, closeMap)
+		if err != nil {
+			closeMap()
+			return nil, dims{}, err
+		}
+	} else {
+		raw, readErr := os.ReadFile(path)
+		if readErr != nil {
+			return nil, dims{}, readErr
+		}
+		sum = sha256.Sum256(raw)
+		ix, err = core.Load(bytes.NewReader(raw))
+		if err != nil {
+			return nil, dims{}, err
+		}
 	}
 	return &generation{ix: ix, sum: sum, bytes: ix.MemoryFootprint()}, dims{
 		Pointers:   ix.NumPointers,
@@ -370,6 +442,20 @@ func loadGeneration(path string) (*generation, dims, error) {
 		Groups:     ix.NumGroups,
 		Rectangles: ix.Rectangles(),
 	}, nil
+}
+
+// sniffMagic reads the first four bytes of path. Short files sniff as
+// whatever bytes they have — they will fail the real load with a precise
+// error rather than here.
+func sniffMagic(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	var m [4]byte
+	n, _ := io.ReadFull(f, m[:])
+	return string(m[:n]), nil
 }
 
 // evictLocked frees cold, unpinned generations until the charged total is
@@ -385,6 +471,7 @@ func (s *Store) evictLocked() {
 		e := el.Value.(*entry)
 		if e.gen.refs == 0 {
 			s.total -= e.gen.bytes
+			e.gen.free()
 			e.gen = nil
 			s.lru.Remove(el)
 			e.elem = nil
@@ -450,6 +537,8 @@ func (s *Store) refreshEntry(e *entry) error {
 	if old == nil { // evicted since the candidate scan; nothing to swap
 		return nil
 	}
+	// Cheap change test first: re-hash the file and bail if unchanged, so
+	// the steady state (nothing rewritten) costs one read and no load.
 	raw, err := os.ReadFile(e.path)
 	if err != nil {
 		s.mu.Lock()
@@ -457,36 +546,42 @@ func (s *Store) refreshEntry(e *entry) error {
 		s.mu.Unlock()
 		return fmt.Errorf("store: refreshing %q: %w", e.name, err)
 	}
-	sum := sha256.Sum256(raw)
-	if sum == old.sum {
+	if sha256.Sum256(raw) == old.sum {
 		return nil
 	}
-	// Changed: decode the new generation off to the side, then install it
-	// with one pointer swap. Readers pinned on old keep it alive; total
-	// stays charged for old until its last Release.
+	// Changed: load the new generation off to the side — decoding a PES1
+	// file, mapping a PES2 one — then install it with one pointer swap.
+	// Readers pinned on old keep it alive; total stays charged for old
+	// until its last Release.
 	start := time.Now()
-	ix, err := core.Load(bytes.NewReader(raw))
+	gen, info, err := s.load(e.path)
 	if err != nil {
 		s.mu.Lock()
 		e.loadErr = err.Error()
 		s.mu.Unlock()
-		return fmt.Errorf("store: re-decoding %q from %s: %w", e.name, e.path, err)
+		return fmt.Errorf("store: re-loading %q from %s: %w", e.name, e.path, err)
 	}
-	gen := &generation{ix: ix, sum: sum, bytes: ix.MemoryFootprint()}
 
 	s.mu.Lock()
-	if e.gen != old { // swapped or evicted while we decoded; discard ours
+	if e.gen != old { // swapped or evicted while we loaded; discard ours
 		s.mu.Unlock()
+		gen.free()
+		return nil
+	}
+	if gen.sum == old.sum { // the file raced back to the old content
+		s.mu.Unlock()
+		gen.free()
 		return nil
 	}
 	old.retired = true
 	if old.refs == 0 {
 		s.total -= old.bytes
+		old.free()
 	}
 	e.gen = gen
 	e.genSeq++
 	e.loadErr = ""
-	e.info = dims{Pointers: ix.NumPointers, Objects: ix.NumObjects, Groups: ix.NumGroups, Rectangles: ix.Rectangles()}
+	e.info = info
 	e.swaps.Add(1)
 	e.loads.Add(1)
 	e.loadLat.Observe(time.Since(start))
@@ -502,6 +597,7 @@ type EntryInfo struct {
 	Name       string `json:"name"`
 	Path       string `json:"path"`
 	Loaded     bool   `json:"loaded"`
+	Mapped     bool   `json:"mapped,omitempty"` // zero-copy PES2 mapping, not a heap decode
 	Generation int64  `json:"generation"`
 	Bytes      int64  `json:"bytes"`
 	Checksum   string `json:"checksum,omitempty"`
@@ -567,6 +663,7 @@ func (s *Store) Snapshot() Stats {
 		}
 		if e.gen != nil {
 			ei.Loaded = true
+			ei.Mapped = e.gen.ix.Mapped()
 			ei.Bytes = e.gen.bytes
 			ei.Checksum = hex.EncodeToString(e.gen.sum[:])
 			ei.Pinned = e.gen.refs

@@ -125,6 +125,29 @@ func WriteFile(t *Trie, path string) error {
 	return f.Close()
 }
 
+// WriteFileV2 persists an index in the zero-copy PES2 format: the query
+// structures are laid out verbatim in page-aligned columns, so OpenFile
+// later serves queries straight off a memory mapping with no decode. PES2
+// files trade size (roughly the in-memory footprint, vs. PES1's
+// delta-compressed bytes) for constant-time opens. Because readers map the
+// file, replace a live one only by rename, never by truncating in place.
+func WriteFileV2(ix *Index, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := ix.WriteToV2(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// OpenFile opens a persistent file as a query index, choosing the load
+// path by magic: PES2 files are memory-mapped and served zero-copy (call
+// Index.Close when done), PES1 files are decoded onto the heap as by Load.
+func OpenFile(path string) (*Index, error) { return core.OpenFile(path) }
+
 // --- baselines ---------------------------------------------------------
 
 // BitmapEncoding is the sparse-bitmap persistence baseline (BitP).
