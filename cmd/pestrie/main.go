@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"pestrie"
+	"pestrie/internal/bitset"
 	"pestrie/internal/core"
 	"pestrie/internal/perf"
 	"pestrie/internal/server"
@@ -169,6 +170,7 @@ func newStoreServer(spec, dir string, opts server.Options, sopts store.Options) 
 
 func serve(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	bitset.Flag(fs)
 	in := fs.String("in", "", "persistent files to serve: [name=]file.pes, comma-separated")
 	addr := fs.String("addr", ":7171", "listen address")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
@@ -278,6 +280,7 @@ func parseMix(spec string) (server.Mix, error) {
 
 func benchServe(args []string) error {
 	fs := flag.NewFlagSet("bench-serve", flag.ExitOnError)
+	bitset.Flag(fs)
 	addr := fs.String("addr", "http://localhost:7171", "server base URL")
 	in := fs.String("in", "", "persistent file the server loaded (query-population source)")
 	backend := fs.String("backend", "", "backend name (empty for single-backend servers)")
@@ -334,6 +337,7 @@ func benchServe(args []string) error {
 // for the encoding pipeline.
 func verify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	bitset.Flag(fs)
 	pes := fs.String("pes", "", "persistent file (.pes)")
 	ptm := fs.String("ptm", "", "original matrix file (.ptm)")
 	fs.Parse(args)
@@ -365,6 +369,7 @@ func verify(args []string) error {
 
 func encode(args []string) error {
 	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	bitset.Flag(fs)
 	in := fs.String("in", "", "input matrix file (.ptm)")
 	facts := fs.String("facts", "", "input text facts file (pointer object per line) instead of -in")
 	out := fs.String("out", "", "output persistent file (.pes)")

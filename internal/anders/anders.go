@@ -32,7 +32,7 @@ import (
 	"fmt"
 	"sort"
 
-	"pestrie/internal/bitmap"
+	"pestrie/internal/bitset"
 	"pestrie/internal/ir"
 	"pestrie/internal/matrix"
 	"pestrie/internal/par"
@@ -279,7 +279,7 @@ func (s *solver) result(w *waveSolver, stats Stats) *Result {
 	// An object is dereferenced iff it appears in the final points-to set
 	// of some variable with load or store constraints — a property of the
 	// (unique) fixpoint, not of solve order.
-	derefed := bitmap.New()
+	derefed := bitset.New()
 	for _, v := range w.activeReps() {
 		if len(w.loads[v]) > 0 || len(w.stores[v]) > 0 {
 			derefed.Or(w.pts[v])

@@ -35,7 +35,8 @@ package anders
 
 import (
 	"encoding/binary"
-	"sort"
+
+	"pestrie/internal/bitset"
 )
 
 // unionFind tracks merged solver nodes. The representative of a class is
@@ -188,7 +189,10 @@ func (s *solver) hvn(uf *unionFind) {
 	}
 	interned := map[string]int{}
 	var key []byte
-	set := map[int]bool{}
+	// Label sets are tiny (a handful of distinct inflow labels per SCC), so
+	// the hybrid set stays in its sorted-array form; ForEach iterates
+	// ascending, replacing the old map + sort.Ints dance.
+	var set bitset.Set
 
 	// Reverse emission order = predecessors first, so every predecessor
 	// label is final when read.
@@ -205,38 +209,30 @@ func (s *solver) hvn(uf *unionFind) {
 		if ind {
 			L = fresh()
 		} else {
-			for l := range set {
-				delete(set, l)
-			}
+			set = bitset.New()
 			for _, v := range scc {
 				for _, l := range baseLabels[v] {
-					set[l] = true
+					set.Set(l)
 				}
 				for _, p := range preds[v] {
 					// Intra-SCC inflow is the class itself; label-0 inflow
 					// is provably empty. Neither adds anything.
 					if sccOf[p] != i && label[p] != 0 {
-						set[label[p]] = true
+						set.Set(label[p])
 					}
 				}
 			}
-			switch len(set) {
+			switch set.Count() {
 			case 0:
 				L = 0
 			case 1:
-				for l := range set {
-					L = l
-				}
+				L = set.Min()
 			default:
-				ls := make([]int, 0, len(set))
-				for l := range set {
-					ls = append(ls, l)
-				}
-				sort.Ints(ls)
 				key = key[:0]
-				for _, l := range ls {
+				set.ForEach(func(l int) bool {
 					key = binary.AppendUvarint(key, uint64(l))
-				}
+					return true
+				})
 				if id, ok := interned[string(key)]; ok {
 					L = id
 				} else {

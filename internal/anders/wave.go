@@ -34,10 +34,9 @@ package anders
 // value from the constraint system, never from goroutine timing.
 
 import (
-	"slices"
 	"sort"
 
-	"pestrie/internal/bitmap"
+	"pestrie/internal/bitset"
 	"pestrie/internal/par"
 )
 
@@ -52,10 +51,18 @@ type waveSolver struct {
 	rounds  int
 
 	// Per-representative state (nil for merged-away nodes).
-	pts       []*bitmap.Sparse // current points-to set
-	done      []*bitmap.Sparse // portion of pts already propagated to successors
-	dif       []*bitmap.Sparse // this wave's delta, pulled by successors
-	derefDone []*bitmap.Sparse // portion of pts already expanded into deref edges
+	pts       []bitset.Set // current points-to set
+	done      []bitset.Set // portion of pts already propagated to successors
+	dif       []bitset.Set // this wave's delta, pulled by successors
+	derefDone []bitset.Set // portion of pts already expanded into deref edges
+
+	// clean[v] records that done[v] == pts[v] when the last wave finished
+	// processing v. A clean node whose pulls all report no change can
+	// publish the shared empty delta without materialising pts\done.
+	// Collapse invalidates the flag for merge targets (their done set is
+	// intersected).
+	clean    []bool
+	emptyDif bitset.Set // shared read-only delta for unchanged clean nodes
 
 	succ    [][]nodeID // copy edges, sorted unique representative IDs
 	newSucc [][]nodeID // subset of succ added since the last wave
@@ -73,10 +80,12 @@ func newWaveSolver(s *solver, uf *unionFind, workers int) *waveSolver {
 		s:         s,
 		uf:        uf,
 		workers:   workers,
-		pts:       make([]*bitmap.Sparse, n),
-		done:      make([]*bitmap.Sparse, n),
-		dif:       make([]*bitmap.Sparse, n),
-		derefDone: make([]*bitmap.Sparse, n),
+		pts:       make([]bitset.Set, n),
+		done:      make([]bitset.Set, n),
+		dif:       make([]bitset.Set, n),
+		derefDone: make([]bitset.Set, n),
+		clean:     make([]bool, n),
+		emptyDif:  bitset.New(),
 		succ:      make([][]nodeID, n),
 		newSucc:   make([][]nodeID, n),
 		loads:     make([][]nodeID, n),
@@ -84,9 +93,9 @@ func newWaveSolver(s *solver, uf *unionFind, workers int) *waveSolver {
 	}
 	for v := 0; v < n; v++ {
 		if uf.find(nodeID(v)) == nodeID(v) {
-			w.pts[v] = bitmap.New()
-			w.done[v] = bitmap.New()
-			w.derefDone[v] = bitmap.New()
+			w.pts[v] = bitset.New()
+			w.done[v] = bitset.New()
+			w.derefDone[v] = bitset.New()
 		}
 	}
 	// Canonicalize the collected constraints through whatever HVN merged.
@@ -160,6 +169,7 @@ func (w *waveSolver) collapse() {
 			w.pts[r].Or(w.pts[v])
 			w.done[r].And(w.done[v])
 			w.derefDone[r].And(w.derefDone[v])
+			w.clean[r] = false
 			w.succ[r] = append(w.succ[r], w.succ[v]...)
 			w.newSucc[r] = append(w.newSucc[r], w.newSucc[v]...)
 			w.loads[r] = append(w.loads[r], w.loads[v]...)
@@ -292,11 +302,22 @@ func (w *waveSolver) wave(levels [][]nodeID) {
 	for _, lvl := range levels {
 		process := func(lo, hi int) {
 			for _, v := range lvl[lo:hi] {
+				changed := false
 				for _, u := range w.predsNew[v] {
-					w.pts[v].Or(w.pts[u])
+					if w.pts[v].OrChanged(w.pts[u]) {
+						changed = true
+					}
 				}
 				for _, u := range w.preds[v] {
-					w.pts[v].Or(w.dif[u])
+					if w.pts[v].OrChanged(w.dif[u]) {
+						changed = true
+					}
+				}
+				if !changed && w.clean[v] {
+					// done == pts held on entry and no pull added a bit, so
+					// the delta is empty — skip the Copy/AndNot entirely.
+					w.dif[v] = w.emptyDif
+					continue
 				}
 				d := w.pts[v].Copy()
 				d.AndNot(w.done[v])
@@ -304,6 +325,7 @@ func (w *waveSolver) wave(levels [][]nodeID) {
 				if !d.Empty() {
 					w.done[v].Or(d)
 				}
+				w.clean[v] = true
 			}
 		}
 		if w.workers <= 1 || len(lvl) < parallelLevelMin {
@@ -313,11 +335,6 @@ func (w *waveSolver) wave(levels [][]nodeID) {
 		}
 	}
 }
-
-// packEdge encodes a candidate copy edge u→v as one word so candidate
-// buffers sort without reflection and at half the footprint. Node IDs are
-// bounded by the variable count, far below 2³².
-func packEdge(u, v nodeID) uint64 { return uint64(u)<<32 | uint64(v) }
 
 // addDerefEdges expands loads and stores over each pointer's points-to
 // delta into copy edges and reports whether any edge was truly new.
@@ -341,46 +358,55 @@ func (w *waveSolver) addDerefEdges() bool {
 		repObjVar[o] = w.uf.find(ov)
 	}
 
+	// Candidate volume is delta × fanout — the hot loop of the whole
+	// solver. Accumulating targets in one set per source node dedups
+	// eagerly instead of sorting the full duplicate-laden edge list, so
+	// the round costs set-insertions rather than an O(E log E) sort.
+	n := len(w.pts)
 	bounds := par.ChunkBounds(len(deref), w.workers)
-	cands := make([][]uint64, len(bounds)-1)
+	chunkTargets := make([][]bitset.Set, len(bounds)-1)
+	chunkTouched := make([][]nodeID, len(bounds)-1)
 	scan := func(lo, hi int) {
 		ci := sort.SearchInts(bounds, lo)
-		// Candidate volume is delta × fanout — the hot allocation of the
-		// whole solver — so size the buffer exactly before filling it.
-		need := 0
-		deltas := make([]*bitmap.Sparse, hi-lo)
-		for i, v := range deref[lo:hi] {
+		targets := make([]bitset.Set, n)
+		var touched []nodeID
+		for _, v := range deref[lo:hi] {
 			delta := w.pts[v].Copy()
 			delta.AndNot(w.derefDone[v])
 			if delta.Empty() {
 				continue
 			}
-			deltas[i] = delta
-			need += delta.Count() * (len(w.loads[v]) + len(w.stores[v]))
-		}
-		out := make([]uint64, 0, need)
-		for i, v := range deref[lo:hi] {
-			delta := deltas[i]
-			if delta == nil {
-				continue
-			}
+			loads, stores := w.loads[v], w.stores[v]
 			delta.ForEach(func(o int) bool {
 				ov := repObjVar[o]
-				for _, d := range w.loads[v] {
+				for _, d := range loads {
 					if ov != d {
-						out = append(out, packEdge(ov, d))
+						t := targets[ov]
+						if t == nil {
+							t = bitset.New()
+							targets[ov] = t
+							touched = append(touched, ov)
+						}
+						t.Set(int(d))
 					}
 				}
-				for _, src := range w.stores[v] {
+				for _, src := range stores {
 					if src != ov {
-						out = append(out, packEdge(src, ov))
+						t := targets[src]
+						if t == nil {
+							t = bitset.New()
+							targets[src] = t
+							touched = append(touched, src)
+						}
+						t.Set(int(ov))
 					}
 				}
 				return true
 			})
 			w.derefDone[v].Or(delta)
 		}
-		cands[ci] = out
+		chunkTargets[ci] = targets
+		chunkTouched[ci] = touched
 	}
 	if w.workers <= 1 || len(deref) < parallelLevelMin {
 		scan(0, len(deref))
@@ -388,47 +414,42 @@ func (w *waveSolver) addDerefEdges() bool {
 		par.Chunks(len(deref), w.workers, scan)
 	}
 
-	total := 0
-	for _, c := range cands {
-		total += len(c)
-	}
-	all := make([]uint64, 0, total)
-	for _, c := range cands {
-		all = append(all, c...)
-	}
-	slices.Sort(all)
-
-	added := false
-	for i := 0; i < len(all); {
-		u := nodeID(all[i] >> 32)
-		j := i
-		for j < len(all) && nodeID(all[j]>>32) == u {
-			j++
-		}
-		// One linear co-walk of the sorted candidate run and the sorted
-		// successor list finds the truly-new targets.
-		var news []nodeID
-		su := w.succ[u]
-		k := 0
-		for x := i; x < j; x++ {
-			v := nodeID(all[x] & 0xffffffff)
-			if x > i && nodeID(all[x-1]&0xffffffff) == v {
-				continue
+	targets, touched := chunkTargets[0], chunkTouched[0]
+	for ci := 1; ci < len(chunkTargets); ci++ {
+		for _, u := range chunkTouched[ci] {
+			if targets[u] == nil {
+				targets[u] = chunkTargets[ci][u]
+				touched = append(touched, u)
+			} else {
+				targets[u].Or(chunkTargets[ci][u])
 			}
+		}
+	}
+
+	// Per-source results are independent, so the iteration order of
+	// touched does not affect the outcome: news is emitted ascending by
+	// ForEach and merged into the already-sorted successor list.
+	added := false
+	for _, u := range touched {
+		su := w.succ[u]
+		var news []nodeID
+		k := 0
+		targets[u].ForEach(func(vi int) bool {
+			v := nodeID(vi)
 			for k < len(su) && su[k] < v {
 				k++
 			}
 			if k < len(su) && su[k] == v {
-				continue
+				return true
 			}
 			news = append(news, v)
-		}
+			return true
+		})
 		if len(news) > 0 {
 			added = true
 			w.succ[u] = mergeSorted(su, news)
 			w.newSucc[u] = news
 		}
-		i = j
 	}
 	return added
 }

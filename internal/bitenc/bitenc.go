@@ -150,16 +150,17 @@ func (e *Encoding) ListPointedBy(o int) []int {
 }
 
 // MemoryFootprint estimates the resident size of the query structure in
-// bytes, dominated by the sparse bitmap blocks (~40 bytes per 128-bit block
-// including list overhead, matching GCC's element size ballpark).
+// bytes, dominated by the row sets (for the linked substrate ~40 bytes per
+// 128-bit block including list overhead, matching GCC's element size
+// ballpark; for the flat substrate the word arrays themselves).
 func (e *Encoding) MemoryFootprint() int64 {
-	blocks := 0
+	var rows int64
 	for _, m := range []*matrix.PointsTo{e.pm, e.pmt, e.am} {
 		for r := 0; r < m.NumPointers; r++ {
-			blocks += m.Row(r).Blocks()
+			rows += m.Row(r).Bytes()
 		}
 	}
-	return int64(blocks)*40 + int64(len(e.ptrClassOf)+len(e.objClassOf))*8
+	return rows + int64(len(e.ptrClassOf)+len(e.objClassOf))*8
 }
 
 // WriteTo writes the persistent BitP file: class maps, the class-level PM,

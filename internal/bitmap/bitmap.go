@@ -410,25 +410,33 @@ func (s *Sparse) Max() int {
 }
 
 // Hash returns an FNV-1a style hash of the set contents, suitable for
-// bucketing equal sets (used by equivalence-class detection).
+// bucketing equal sets (used by equivalence-class detection). It walks the
+// blocks directly — no member slice, no closures — so hashing a row never
+// allocates, which matters when equivalence-class detection hashes every
+// matrix row. internal/bitset replicates this scheme exactly so both
+// substrates hash identical contents identically.
 func (s *Sparse) Hash() uint64 {
 	const (
 		offset = 1469598103934665603
 		prime  = 1099511628211
 	)
 	h := uint64(offset)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime
-			v >>= 8
+	for b := s.first; b != nil; b = b.next {
+		h = hashMix(h, uint64(b.index))
+		for _, w := range b.words {
+			h = hashMix(h, w)
 		}
 	}
-	for b := s.first; b != nil; b = b.next {
-		mix(uint64(b.index))
-		for _, w := range b.words {
-			mix(w)
-		}
+	return h
+}
+
+// hashMix folds the eight bytes of v into h, least significant first.
+func hashMix(h, v uint64) uint64 {
+	const prime = 1099511628211
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime
+		v >>= 8
 	}
 	return h
 }

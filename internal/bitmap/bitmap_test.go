@@ -450,3 +450,18 @@ func equalInts(a, b []int) bool {
 	}
 	return true
 }
+
+// TestHashAllocs pins the zero-allocation guarantee of Hash: equivalence
+// class detection hashes every matrix row, so a per-call allocation there
+// is pure churn.
+func TestHashAllocs(t *testing.T) {
+	s := New()
+	for i := 0; i < 4096; i += 3 {
+		s.Set(i)
+	}
+	var sink uint64
+	if n := testing.AllocsPerRun(100, func() { sink += s.Hash() }); n != 0 {
+		t.Fatalf("Hash allocated %v times per run", n)
+	}
+	_ = sink
+}

@@ -1,0 +1,109 @@
+package bitset
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzSetOps interprets the input bytes as an op sequence over two Flat
+// sets and mirrors every mutation into bitmap.Sparse references and a
+// Linked pair, then cross-checks all observables. This is the substrate's
+// differential oracle under adversarial op orders (the CI fuzz smoke).
+func FuzzSetOps(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03})
+	f.Add([]byte{0x51, 0x51, 0x51, 0x51, 0x51, 0x51, 0x25, 0x66, 0x87, 0x98})
+	f.Add(bytes.Repeat([]byte{0x01, 0xFF, 0x40}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		flat := [2]Set{NewFlat(), NewFlat()}
+		linked := [2]Set{NewLinked(), NewLinked()}
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		for len(data) >= 1 {
+			op := data[0] & 0x0f
+			which := int(data[0]>>4) & 1
+			data = data[1:]
+			v := 0
+			if len(data) >= 2 {
+				v = int(binary.LittleEndian.Uint16(data))
+				data = data[2:]
+			}
+			x, y := which, 1-which
+			switch op {
+			case 0, 1, 2, 3, 4, 5:
+				flat[x].Set(v)
+				linked[x].Set(v)
+			case 6, 7:
+				flat[x].Clear(v)
+				linked[x].Clear(v)
+			case 8:
+				flat[x].Or(flat[y])
+				linked[x].Or(linked[y])
+			case 9:
+				flat[x].And(flat[y])
+				linked[x].And(linked[y])
+			case 10:
+				flat[x].AndNot(flat[y])
+				linked[x].AndNot(linked[y])
+			case 11:
+				if flat[x].OrChanged(flat[y]) != linked[x].OrChanged(linked[y]) {
+					t.Fatal("OrChanged diverges between substrates")
+				}
+			case 12:
+				flat[x] = flat[x].Copy()
+				linked[x] = linked[x].Copy()
+			case 13:
+				if flat[x].Test(v) != linked[x].Test(v) {
+					t.Fatalf("Test(%d) diverges", v)
+				}
+			case 14:
+				if flat[x].Intersects(flat[y]) != linked[x].Intersects(linked[y]) {
+					t.Fatal("Intersects diverges")
+				}
+			case 15:
+				if flat[x].Equal(flat[y]) != linked[x].Equal(linked[y]) {
+					t.Fatal("Equal diverges")
+				}
+			}
+		}
+		for i := range flat {
+			fm, lm := flat[i].Members(), linked[i].Members()
+			if len(fm) != len(lm) {
+				t.Fatalf("set %d: member count diverges: flat %d, linked %d", i, len(fm), len(lm))
+			}
+			for j := range fm {
+				if fm[j] != lm[j] {
+					t.Fatalf("set %d member %d: flat %d, linked %d", i, j, fm[j], lm[j])
+				}
+			}
+			if flat[i].Hash() != linked[i].Hash() {
+				t.Fatalf("set %d: hash diverges", i)
+			}
+			if flat[i].Count() != linked[i].Count() ||
+				flat[i].Min() != linked[i].Min() ||
+				flat[i].Max() != linked[i].Max() {
+				t.Fatalf("set %d: count/min/max diverge", i)
+			}
+			var buf bytes.Buffer
+			if _, err := Write(&buf, flat[i]); err != nil {
+				t.Fatal(err)
+			}
+			var ref bytes.Buffer
+			if _, err := Write(&ref, linked[i]); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), ref.Bytes()) {
+				t.Fatalf("set %d: wire encoding diverges between substrates", i)
+			}
+			back, err := Read(bufio.NewReader(&buf))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !back.Equal(flat[i]) {
+				t.Fatalf("set %d: round trip lost members", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package bitset
+
+// Generic fallbacks for mixed-substrate operands. These only run when a
+// Flat and a Linked set meet in one operation — which real pipelines avoid
+// (the substrate is process-wide) — so clarity beats speed here. Mutating
+// fallbacks collect members first to avoid iterating a set being modified.
+
+func orGeneric(dst, src Set) bool {
+	changed := false
+	src.ForEach(func(i int) bool {
+		if !dst.Test(i) {
+			dst.Set(i)
+			changed = true
+		}
+		return true
+	})
+	return changed
+}
+
+func andGeneric(dst, other Set) {
+	var drop []int
+	dst.ForEach(func(i int) bool {
+		if !other.Test(i) {
+			drop = append(drop, i)
+		}
+		return true
+	})
+	for _, i := range drop {
+		dst.Clear(i)
+	}
+}
+
+func andNotGeneric(dst, other Set) {
+	var drop []int
+	dst.ForEach(func(i int) bool {
+		if other.Test(i) {
+			drop = append(drop, i)
+		}
+		return true
+	})
+	for _, i := range drop {
+		dst.Clear(i)
+	}
+}
+
+func intersectsGeneric(a, b Set) bool {
+	found := false
+	a.ForEach(func(i int) bool {
+		if b.Test(i) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func equalGeneric(a, b Set) bool {
+	if a.Count() != b.Count() {
+		return false
+	}
+	eq := true
+	a.ForEach(func(i int) bool {
+		if !b.Test(i) {
+			eq = false
+			return false
+		}
+		return true
+	})
+	return eq
+}

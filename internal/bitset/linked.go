@@ -1,0 +1,92 @@
+package bitset
+
+import "pestrie/internal/bitmap"
+
+// linkedBlockBytes approximates the heap footprint of one linked 128-bit
+// block (index + two words + next pointer + allocator overhead), matching
+// the estimate bitenc historically used for the bitmap baseline.
+const linkedBlockBytes = 40
+
+// Linked adapts internal/bitmap's GCC-style linked-block bitmap to the Set
+// interface. It is the paper-faithful baseline substrate: every operation
+// delegates to bitmap.Sparse, preserving its O(blocks) access behavior.
+type Linked struct {
+	s *bitmap.Sparse
+}
+
+// NewLinked returns an empty linked-substrate set.
+func NewLinked() *Linked { return &Linked{s: bitmap.New()} }
+
+// Sparse returns the underlying bitmap for baseline-only callers.
+func (l *Linked) Sparse() *bitmap.Sparse { return l.s }
+
+func (l *Linked) Set(i int)       { l.s.Set(i) }
+func (l *Linked) Clear(i int)     { l.s.Clear(i) }
+func (l *Linked) Test(i int) bool { return l.s.Test(i) }
+func (l *Linked) Empty() bool     { return l.s.Empty() }
+func (l *Linked) Count() int      { return l.s.Count() }
+
+func (l *Linked) Copy() Set { return &Linked{s: l.s.Copy()} }
+
+func (l *Linked) Or(other Set) { l.OrChanged(other) }
+
+func (l *Linked) OrChanged(other Set) bool {
+	if o, ok := other.(*Linked); ok {
+		return l.s.Or(o.s)
+	}
+	if other == nil {
+		return false
+	}
+	return orGeneric(l, other)
+}
+
+func (l *Linked) And(other Set) {
+	if o, ok := other.(*Linked); ok {
+		l.s.And(o.s)
+		return
+	}
+	if other == nil {
+		l.s.And(nil)
+		return
+	}
+	andGeneric(l, other)
+}
+
+func (l *Linked) AndNot(other Set) {
+	if o, ok := other.(*Linked); ok {
+		l.s.AndNot(o.s)
+		return
+	}
+	if other == nil {
+		return
+	}
+	andNotGeneric(l, other)
+}
+
+func (l *Linked) Intersects(other Set) bool {
+	if o, ok := other.(*Linked); ok {
+		return l.s.Intersects(o.s)
+	}
+	if other == nil {
+		return false
+	}
+	return intersectsGeneric(l, other)
+}
+
+func (l *Linked) Equal(other Set) bool {
+	if o, ok := other.(*Linked); ok {
+		return l.s.Equal(o.s)
+	}
+	if other == nil {
+		return l.s.Empty()
+	}
+	return equalGeneric(l, other)
+}
+
+func (l *Linked) ForEach(fn func(i int) bool) { l.s.ForEach(fn) }
+func (l *Linked) Members() []int              { return l.s.Members() }
+func (l *Linked) Min() int                    { return l.s.Min() }
+func (l *Linked) Max() int                    { return l.s.Max() }
+func (l *Linked) Hash() uint64                { return l.s.Hash() }
+
+func (l *Linked) Bytes() int64 { return int64(l.s.Blocks()) * linkedBlockBytes }

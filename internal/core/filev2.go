@@ -250,6 +250,14 @@ func LoadMapped(data []byte, closer func() error) (*Index, error) {
 	if len(data) < v2HeaderSize {
 		return nil, fmt.Errorf("pestrie: PES2 image truncated: %d bytes", len(data))
 	}
+	// A cold open is about to sweep every section front to back (the
+	// validate pass below), so ask the kernel for aggressive readahead and
+	// start faulting pages in now; drop back to normal readahead once
+	// validation is done and access turns into point queries. Best effort —
+	// heap-backed images simply ignore the hints.
+	safeio.Advise(data, safeio.AdviceSequential)
+	safeio.Advise(data, safeio.AdviceWillNeed)
+	defer safeio.Advise(data, safeio.AdviceNormal)
 	if string(data[0:4]) != v2Magic {
 		return nil, fmt.Errorf("pestrie: bad magic %q", data[0:4])
 	}

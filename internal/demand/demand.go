@@ -9,7 +9,7 @@
 package demand
 
 import (
-	"pestrie/internal/bitmap"
+	"pestrie/internal/bitset"
 	"pestrie/internal/matrix"
 )
 
@@ -23,7 +23,7 @@ type Oracle struct {
 }
 
 type cacheEntry struct {
-	row     *bitmap.Sparse
+	row     bitset.Set
 	aliases []int
 }
 

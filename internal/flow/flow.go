@@ -20,7 +20,7 @@ import (
 	"fmt"
 
 	"pestrie/internal/anders"
-	"pestrie/internal/bitmap"
+	"pestrie/internal/bitset"
 	"pestrie/internal/ir"
 	"pestrie/internal/matrix"
 )
@@ -69,7 +69,7 @@ func Analyze(prog *ir.Program) (*Result, error) {
 // variable), with join facts emitted at a synthetic point numbered after
 // both arms so "latest definition" stays meaningful.
 func analyzeFunc(f *ir.Func, base *anders.Result, res *Result) {
-	cur := map[string]*bitmap.Sparse{}
+	cur := map[string]bitset.Set{}
 
 	// Parameters start from the context-insensitive summary — the sound
 	// merge over all callers.
@@ -83,7 +83,7 @@ func analyzeFunc(f *ir.Func, base *anders.Result, res *Result) {
 		return counter - 1
 	}
 
-	emit := func(idx int, v string, set *bitmap.Sparse) {
+	emit := func(idx int, v string, set bitset.Set) {
 		if set == nil {
 			return
 		}
@@ -98,15 +98,15 @@ func analyzeFunc(f *ir.Func, base *anders.Result, res *Result) {
 		})
 	}
 
-	var walk func(body []ir.Stmt, state map[string]*bitmap.Sparse, defs map[string]bool)
-	walk = func(body []ir.Stmt, state map[string]*bitmap.Sparse, defs map[string]bool) {
+	var walk func(body []ir.Stmt, state map[string]bitset.Set, defs map[string]bool)
+	walk = func(body []ir.Stmt, state map[string]bitset.Set, defs map[string]bool) {
 		for _, st := range body {
 			idx := next()
 			switch st.Kind {
 			case ir.Alloc, ir.Source:
 				// Strong update: the destination now points exactly to
 				// the site.
-				set := bitmap.New()
+				set := bitset.New()
 				if o := base.ObjectID(st.Site); o >= 0 {
 					set.Set(o)
 				}
@@ -123,7 +123,7 @@ func analyzeFunc(f *ir.Func, base *anders.Result, res *Result) {
 				// may point to; heap cells come from the sound base
 				// analysis (stores elsewhere may interleave through
 				// calls).
-				set := bitmap.New()
+				set := bitset.New()
 				lookup(state, base, f.Name, st.Src).ForEach(func(o int) bool {
 					set.Or(heapRow(base, o))
 					return true
@@ -165,8 +165,8 @@ func analyzeFunc(f *ir.Func, base *anders.Result, res *Result) {
 	walk(f.Body, cur, map[string]bool{})
 }
 
-func copyState(state map[string]*bitmap.Sparse) map[string]*bitmap.Sparse {
-	out := make(map[string]*bitmap.Sparse, len(state))
+func copyState(state map[string]bitset.Set) map[string]bitset.Set {
+	out := make(map[string]bitset.Set, len(state))
 	for k, v := range state {
 		out[k] = v.Copy()
 	}
@@ -176,7 +176,7 @@ func copyState(state map[string]*bitmap.Sparse) map[string]*bitmap.Sparse {
 // lookup returns the current flow-sensitive set of v, falling back to the
 // base analysis for names never strongly defined here (parameters already
 // seeded; globals of other functions cannot be referenced by the IR).
-func lookup(cur map[string]*bitmap.Sparse, base *anders.Result, fn, v string) *bitmap.Sparse {
+func lookup(cur map[string]bitset.Set, base *anders.Result, fn, v string) bitset.Set {
 	if s, ok := cur[v]; ok {
 		return s
 	}
@@ -185,18 +185,18 @@ func lookup(cur map[string]*bitmap.Sparse, base *anders.Result, fn, v string) *b
 	return s
 }
 
-func baseRow(base *anders.Result, fn, v string) *bitmap.Sparse {
+func baseRow(base *anders.Result, fn, v string) bitset.Set {
 	p := base.PointerID(fn + "." + v)
 	if p < 0 {
-		return bitmap.New()
+		return bitset.New()
 	}
 	return base.PM.Row(p).Copy()
 }
 
-func heapRow(base *anders.Result, obj int) *bitmap.Sparse {
+func heapRow(base *anders.Result, obj int) bitset.Set {
 	p := base.PointerID("@heap." + base.ObjectNames[obj])
 	if p < 0 {
-		return bitmap.New()
+		return bitset.New()
 	}
 	return base.PM.Row(p)
 }

@@ -6,7 +6,7 @@ import (
 	"fmt"
 	"io"
 
-	"pestrie/internal/bitmap"
+	"pestrie/internal/bitset"
 	"pestrie/internal/safeio"
 )
 
@@ -18,7 +18,7 @@ import (
 //	magic "PTM1"
 //	uvarint numPointers
 //	uvarint numObjects
-//	numPointers × delta-varint bitmap rows (see bitmap.WriteTo)
+//	numPointers × delta-varint set rows (see bitset.Write / bitmap.WriteTo)
 
 const matrixMagic = "PTM1"
 
@@ -41,7 +41,7 @@ func (pm *PointsTo) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	for p := 0; p < pm.NumPointers; p++ {
-		n, err := pm.Row(p).WriteTo(bw)
+		n, err := bitset.Write(bw, pm.Row(p))
 		written += n
 		if err != nil {
 			return written, err
@@ -113,7 +113,7 @@ func ReadRaw(r io.Reader) (*PointsTo, error) {
 	if np > limit || no > limit {
 		return nil, fmt.Errorf("matrix: implausible raw dimensions %d×%d", np, no)
 	}
-	rows := make([]*bitmap.Sparse, 0, safeio.Cap(int(np)))
+	rows := make([]bitset.Set, 0, safeio.Cap(int(np)))
 	for p := 0; p < int(np); p++ {
 		count, err := get()
 		if err != nil {
@@ -122,7 +122,7 @@ func ReadRaw(r io.Reader) (*PointsTo, error) {
 		if count > no {
 			return nil, fmt.Errorf("matrix: raw row %d count %d exceeds objects", p, count)
 		}
-		var row *bitmap.Sparse
+		var row bitset.Set
 		for i := uint32(0); i < count; i++ {
 			o, err := get()
 			if err != nil {
@@ -132,7 +132,7 @@ func ReadRaw(r io.Reader) (*PointsTo, error) {
 				return nil, fmt.Errorf("matrix: raw row %d object %d out of range", p, o)
 			}
 			if row == nil {
-				row = bitmap.New()
+				row = bitset.New()
 			}
 			row.Set(int(o))
 		}
@@ -171,7 +171,7 @@ func Read(r io.Reader) (*PointsTo, error) {
 	// Rows are appended as they decode rather than preallocated from the
 	// untrusted header count: every row costs at least one input byte, so
 	// allocation stays proportional to the actual file size.
-	rows := make([]*bitmap.Sparse, 0, safeio.Cap(int(np)))
+	rows := make([]bitset.Set, 0, safeio.Cap(int(np)))
 	for p := 0; p < int(np); p++ {
 		row, err := readRow(br, int(no))
 		if err != nil {
@@ -182,8 +182,8 @@ func Read(r io.Reader) (*PointsTo, error) {
 	return &PointsTo{NumPointers: int(np), NumObjects: int(no), rows: rows}, nil
 }
 
-func readRow(br *bufio.Reader, numObjects int) (*bitmap.Sparse, error) {
-	s, err := bitmap.ReadSparse(br)
+func readRow(br *bufio.Reader, numObjects int) (bitset.Set, error) {
+	s, err := bitset.Read(br)
 	if err != nil {
 		return nil, err
 	}

@@ -11,7 +11,7 @@ import (
 	"math"
 	"sort"
 
-	"pestrie/internal/bitmap"
+	"pestrie/internal/bitset"
 	"pestrie/internal/par"
 )
 
@@ -20,7 +20,7 @@ import (
 type PointsTo struct {
 	NumPointers int
 	NumObjects  int
-	rows        []*bitmap.Sparse
+	rows        []bitset.Set
 }
 
 // New returns an empty points-to matrix of the given dimensions.
@@ -31,7 +31,7 @@ func New(pointers, objects int) *PointsTo {
 	return &PointsTo{
 		NumPointers: pointers,
 		NumObjects:  objects,
-		rows:        make([]*bitmap.Sparse, pointers),
+		rows:        make([]bitset.Set, pointers),
 	}
 }
 
@@ -44,7 +44,7 @@ func (pm *PointsTo) Add(p, o int) {
 		panic(fmt.Sprintf("matrix: object %d out of range [0,%d)", o, pm.NumObjects))
 	}
 	if pm.rows[p] == nil {
-		pm.rows[p] = bitmap.New()
+		pm.rows[p] = bitset.New()
 	}
 	pm.rows[p].Set(o)
 }
@@ -57,11 +57,11 @@ func (pm *PointsTo) Has(p, o int) bool {
 	return pm.rows[p].Test(o)
 }
 
-var emptyRow = bitmap.New()
+var emptyRow bitset.Set = bitset.NewFlat()
 
 // Row returns the points-to set of pointer p. The returned set must not be
 // mutated; it is never nil.
-func (pm *PointsTo) Row(p int) *bitmap.Sparse {
+func (pm *PointsTo) Row(p int) bitset.Set {
 	if p < 0 || p >= pm.NumPointers || pm.rows[p] == nil {
 		return emptyRow
 	}
@@ -69,7 +69,7 @@ func (pm *PointsTo) Row(p int) *bitmap.Sparse {
 }
 
 // SetRow installs row as the points-to set of pointer p, taking ownership.
-func (pm *PointsTo) SetRow(p int, row *bitmap.Sparse) {
+func (pm *PointsTo) SetRow(p int, row bitset.Set) {
 	if p < 0 || p >= pm.NumPointers {
 		panic(fmt.Sprintf("matrix: pointer %d out of range [0,%d)", p, pm.NumPointers))
 	}
@@ -106,8 +106,8 @@ func (pm *PointsTo) Transpose() *PointsTo { return pm.TransposeWith(1) }
 // selects GOMAXPROCS, 1 is sequential). The result is identical to the
 // sequential transpose for any worker count: workers build partial
 // transposes over disjoint pointer chunks, then disjoint object shards
-// merge them in chunk order, and bitmap.Sparse stores sets canonically, so
-// the merged rows are structurally equal no matter how they were built.
+// merge them in chunk order, and both bitset substrates compare sets
+// canonically, so the merged rows are equal no matter how they were built.
 func (pm *PointsTo) TransposeWith(workers int) *PointsTo {
 	workers = par.Workers(workers)
 	if workers <= 1 || pm.NumPointers == 0 {
@@ -147,7 +147,7 @@ func (pm *PointsTo) TransposeWith(workers int) *PointsTo {
 	out := New(pm.NumObjects, pm.NumPointers)
 	par.Chunks(pm.NumObjects, workers, func(lo, hi int) {
 		for o := lo; o < hi; o++ {
-			var row *bitmap.Sparse
+			var row bitset.Set
 			for _, part := range parts {
 				pr := part.rows[o]
 				if pr == nil || pr.Empty() {
@@ -181,7 +181,7 @@ func (pm *PointsTo) AliasMatrixWith(pmt *PointsTo) *PointsTo {
 		if r == nil || r.Empty() {
 			continue
 		}
-		row := bitmap.New()
+		row := bitset.New()
 		r.ForEach(func(o int) bool {
 			row.Or(pmt.Row(o))
 			return true
@@ -296,7 +296,7 @@ func (pm *PointsTo) ObjectEquivalenceClasses() (classOf []int, numClasses int) {
 	return classesOf(pmt.rows, pmt.NumPointers, 1)
 }
 
-func classesOf(rows []*bitmap.Sparse, n, workers int) ([]int, int) {
+func classesOf(rows []bitset.Set, n, workers int) ([]int, int) {
 	// Hashing scans every block of every row — the dominant cost — and is
 	// side-effect free, so it parallelizes cleanly; the bucket walk below
 	// keeps the sequential first-seen class numbering.

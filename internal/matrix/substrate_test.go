@@ -1,0 +1,69 @@
+package matrix
+
+import (
+	"bytes"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"pestrie/internal/bitset"
+)
+
+// buildRandom adds the same pseudo-random fact stream to a fresh matrix
+// under whatever substrate is currently selected.
+func buildRandom(seed int64, pointers, objects int) *PointsTo {
+	rng := rand.New(rand.NewSource(seed))
+	pm := New(pointers, objects)
+	for n := 0; n < pointers*8; n++ {
+		pm.Add(rng.Intn(pointers), rng.Intn(objects))
+	}
+	return pm
+}
+
+// TestSubstrateByteIdentity pins that every derived structure — persisted
+// bytes, equivalence classes, hub degrees, transpose, alias matrix — is
+// identical whether rows live on the flat or the linked substrate, for any
+// worker count.
+func TestSubstrateByteIdentity(t *testing.T) {
+	defer bitset.Use(bitset.FlatSubstrate)
+	for seed := int64(0); seed < 4; seed++ {
+		bitset.Use(bitset.FlatSubstrate)
+		flat := buildRandom(seed, 300, 120)
+		bitset.Use(bitset.LinkedSubstrate)
+		linked := buildRandom(seed, 300, 120)
+		bitset.Use(bitset.FlatSubstrate)
+
+		if !flat.Equal(linked) || !linked.Equal(flat) {
+			t.Fatal("same fact stream produced unequal matrices across substrates")
+		}
+		var fb, lb bytes.Buffer
+		if _, err := flat.WriteTo(&fb); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := linked.WriteTo(&lb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fb.Bytes(), lb.Bytes()) {
+			t.Fatal("persisted PTM1 bytes differ between substrates")
+		}
+
+		for _, workers := range []int{1, 4} {
+			fc, fn := flat.EquivalenceClassesWith(workers)
+			lc, ln := linked.EquivalenceClassesWith(workers)
+			if fn != ln || !slices.Equal(fc, lc) {
+				t.Fatalf("equivalence classes diverge across substrates (workers=%d)", workers)
+			}
+			fd := flat.HubDegreesWith(workers)
+			ld := linked.HubDegreesWith(workers)
+			if !slices.Equal(fd, ld) {
+				t.Fatalf("hub degrees diverge across substrates (workers=%d)", workers)
+			}
+			if !flat.TransposeWith(workers).Equal(linked.TransposeWith(workers)) {
+				t.Fatalf("transposes diverge across substrates (workers=%d)", workers)
+			}
+		}
+		if !flat.AliasMatrix().Equal(linked.AliasMatrix()) {
+			t.Fatal("alias matrices diverge across substrates")
+		}
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !linux && !darwin && !freebsd && !netbsd && !openbsd && !dragonfly
+
+package safeio
+
+// No madvise on this platform; hints are no-ops.
+func advise(data []byte, a Advice) {}

@@ -1,0 +1,21 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package safeio
+
+import "syscall"
+
+func advise(data []byte, a Advice) {
+	if len(data) == 0 {
+		return
+	}
+	flag := syscall.MADV_NORMAL
+	switch a {
+	case AdviceSequential:
+		flag = syscall.MADV_SEQUENTIAL
+	case AdviceWillNeed:
+		flag = syscall.MADV_WILLNEED
+	}
+	// Best effort: madvise failing (not page-aligned heap bytes on the
+	// no-mmap fallback, an unsupported flag) just means no hint.
+	_ = syscall.Madvise(data, flag)
+}

@@ -47,3 +47,23 @@ func Section(data []byte, off, length uint64) ([]byte, error) {
 func MapFile(path string) (data []byte, close func() error, err error) {
 	return mapFile(path)
 }
+
+// Advice is an access-pattern hint for a mapping returned by MapFile.
+type Advice int
+
+const (
+	// AdviceNormal restores the kernel's default readahead.
+	AdviceNormal Advice = iota
+	// AdviceSequential asks for aggressive readahead: the caller is about
+	// to sweep the mapping front to back (PES2 validation).
+	AdviceSequential
+	// AdviceWillNeed asks the kernel to start faulting the pages in now.
+	AdviceWillNeed
+)
+
+// Advise passes an access-pattern hint for data to the kernel. It is best
+// effort and never fails: on platforms without madvise, on heap fallback
+// bytes, or on errors it simply does nothing. data should be a slice
+// returned by MapFile (or a prefix of one — madvise wants a page-aligned
+// base address).
+func Advise(data []byte, a Advice) { advise(data, a) }
