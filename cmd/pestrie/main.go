@@ -6,8 +6,10 @@
 //	pestrie encode -in pm.ptm -out pm.pes [-v2] [-random-order] [-merge-objects] [-j N]
 //	pestrie info -in pm.pes [-j N]
 //	pestrie query -in pm.pes -op isalias -p 3 -q 7
-//	pestrie query -in pm.pes -op aliases|pointsto -p 3
+//	pestrie query -in pm.pes -op aliases|pointsto -p 3 [-at gen|head]
 //	pestrie query -in pm.pes -op pointedby -o 5
+//	pestrie delta -base pm.pes -new updated.ptm [-out pm.d000001.pesd]
+//	pestrie compact -in pm.pes -out pm2.pes [-gen N] [-v2] [-j N]
 //	pestrie serve -in pm.pes[,name=other.pes...] -addr :7171
 //	pestrie serve -store-dir ./pes -mem-budget 64MiB -reload-interval 30s
 //	pestrie bench-serve -addr http://host:7171 -in pm.pes -n 200
@@ -26,6 +28,14 @@
 // memory-map such files and answer queries straight off the mapping
 // instead of decoding them. Replace a served PES2 file only by rename.
 //
+// delta diffs the facts a base (plus any delta chain next to it) currently
+// serves against an updated matrix and writes the difference as the next
+// stamped .pesd segment (see internal/delta and FORMATS.md); a serving
+// store picks the segment up on its next refresh without re-decoding the
+// base. query -at pins a query to one generation of the chain; info prints
+// the chain. compact folds base+chain back into a fresh standalone file,
+// byte-identical to encoding the same facts from scratch.
+//
 // Matrix files (.ptm) are produced by cmd/ptagen.
 package main
 
@@ -38,6 +48,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -45,6 +56,7 @@ import (
 	"pestrie"
 	"pestrie/internal/bitset"
 	"pestrie/internal/core"
+	"pestrie/internal/delta"
 	"pestrie/internal/perf"
 	"pestrie/internal/server"
 	"pestrie/internal/store"
@@ -73,6 +85,10 @@ func main() {
 		err = query(os.Args[2:])
 	case "verify":
 		err = verify(os.Args[2:])
+	case "delta":
+		err = deltaCmd(os.Args[2:])
+	case "compact":
+		err = compact(os.Args[2:])
 	case "serve":
 		err = serve(os.Args[2:])
 	case "bench-serve":
@@ -87,7 +103,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pestrie <encode|info|query|verify|serve|bench-serve> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pestrie <encode|info|query|verify|delta|compact|serve|bench-serve> [flags]")
 	os.Exit(2)
 }
 
@@ -329,6 +345,173 @@ func benchServe(args []string) error {
 		return err
 	}
 	fmt.Println(report)
+	// Store-backed servers also expose refresh economics: how many times
+	// each backend was fully decoded vs advanced by applying delta
+	// segments, and what each path cost. Absence of the endpoint (an eager
+	// -in server) is not an error.
+	stats, err := server.FetchStoreStats(context.Background(), strings.TrimSuffix(*addr, "/"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pestrie: store stats unavailable: %v\n", err)
+		return nil
+	}
+	if stats == nil {
+		return nil
+	}
+	for _, e := range stats.Backends {
+		if *backend != "" && e.Name != *backend {
+			continue
+		}
+		line := fmt.Sprintf("store %s: generation stamp %d, chain %d, loads=%d (p50=%s)",
+			e.Name, e.Stamp, e.DeltaChain, e.Loads, time.Duration(e.LoadLatency.P50NS))
+		if e.Applies > 0 {
+			line += fmt.Sprintf(", delta applies=%d (p50=%s)", e.Applies, time.Duration(e.ApplyLatency.P50NS))
+		}
+		if e.ChainNote != "" {
+			line += ", chain stops early: " + e.ChainNote
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+// readMatrixFile loads a .ptm matrix file.
+func readMatrixFile(path string) (*pestrie.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return pestrie.ReadMatrix(f)
+}
+
+// deltaCmd diffs the facts the base (plus its on-disk delta chain)
+// currently serves against an updated matrix and writes the difference as
+// the next stamped segment. The base file is never rewritten — a serving
+// store applies the new segment on its next refresh.
+func deltaCmd(args []string) error {
+	fs := flag.NewFlagSet("delta", flag.ExitOnError)
+	bitset.Flag(fs)
+	base := fs.String("base", "", "served base file (.pes) the segment chains onto")
+	newPM := fs.String("new", "", "matrix file (.ptm) holding the updated facts")
+	out := fs.String("out", "", "output segment path (default: the next stamp next to -base)")
+	fs.Parse(args)
+	if *base == "" || *newPM == "" {
+		return fmt.Errorf("delta needs -base and -new")
+	}
+	chain, err := delta.LoadChain(*base)
+	if err != nil {
+		return err
+	}
+	if chain.Broken != "" {
+		// Appending past a broken link would stamp a segment discovery can
+		// never reach; make the operator clean up (or compact) first.
+		return fmt.Errorf("delta: chain next to %s is broken (%s); remove the stale segments or compact first", *base, chain.Broken)
+	}
+	idx, err := pestrie.OpenFile(*base)
+	if err != nil {
+		return err
+	}
+	defer idx.Close()
+	cur, err := delta.MatrixAt(idx, chain.Segs, chain.Head())
+	if err != nil {
+		return err
+	}
+	next, err := readMatrixFile(*newPM)
+	if err != nil {
+		return err
+	}
+	seg, err := delta.Diff(cur, next)
+	if err != nil {
+		return err
+	}
+	if seg == nil {
+		fmt.Printf("no changes: generation %d of %s already holds the facts of %s\n",
+			chain.Head(), *base, *newPM)
+		return nil
+	}
+	seg.Gen = chain.Head() + 1
+	seg.Parent = chain.Head()
+	seg.BaseHint = chain.Hint
+	path := *out
+	if path == "" {
+		path = delta.SegmentPath(*base, seg.Gen)
+	}
+	if err := delta.WriteSegmentFile(path, seg); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	adds, dels := seg.Counts()
+	fmt.Printf("segment: %s (generation %d on %d, +%d -%d facts, %d pointers × %d objects, %s)\n",
+		path, seg.Gen, seg.Parent, adds, dels, seg.NumPointers, seg.NumObjects, perf.Bytes(st.Size()))
+	return nil
+}
+
+// compact folds a base and its delta chain back into a standalone
+// persistent file. Because RecoverMatrix inverts the base exactly, replay
+// is strict, and core.Build is deterministic, the output is byte-identical
+// to encoding the same facts from scratch with the same options — which is
+// what CI checks.
+func compact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	bitset.Flag(fs)
+	in := fs.String("in", "", "base file (.pes) whose delta chain to fold in")
+	out := fs.String("out", "", "output persistent file (.pes)")
+	gen := fs.Uint64("gen", 0, "generation to compact through (0 = chain head)")
+	mergeObjects := fs.Bool("merge-objects", false, "merge equivalent objects into shared origins")
+	noPrune := fs.Bool("no-prune", false, "disable Theorem-2 rectangle pruning")
+	v2 := fs.Bool("v2", false, "write the zero-copy PES2 format")
+	jobs := fs.Int("j", 0, "construction worker count (0 = GOMAXPROCS); output is identical for any value")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("compact needs -in and -out")
+	}
+	chain, err := delta.LoadChain(*in)
+	if err != nil {
+		return err
+	}
+	if chain.Broken != "" {
+		fmt.Fprintf(os.Stderr, "pestrie: warning: chain stops early: %s\n", chain.Broken)
+	}
+	g := *gen
+	if g == 0 {
+		g = chain.Head()
+	}
+	idx, err := pestrie.OpenFile(*in)
+	if err != nil {
+		return err
+	}
+	defer idx.Close()
+	opts := &core.Options{MergeEquivalentObjects: *mergeObjects, DisablePruning: *noPrune, Workers: *jobs}
+	var trie *pestrie.Trie
+	var cerr error
+	dur := perf.Time(func() { trie, cerr = delta.Compact(idx, chain.Segs, g, opts) })
+	if cerr != nil {
+		return cerr
+	}
+	format := "PES1"
+	if *v2 {
+		format = "PES2"
+		if err := pestrie.WriteFileV2(trie.Index(), *out); err != nil {
+			return err
+		}
+	} else if err := pestrie.WriteFile(trie, *out); err != nil {
+		return err
+	}
+	folded := 0
+	for _, s := range chain.Segs {
+		if s.Gen <= g {
+			folded++
+		}
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compacted %s through generation %d (%d segments folded) in %s\n", *in, g, folded, dur)
+	fmt.Printf("file: %s (%s, %s)\n", *out, format, perf.Bytes(st.Size()))
 	return nil
 }
 
@@ -459,6 +642,24 @@ func info(args []string) error {
 	} else {
 		fmt.Printf("decode time: %s, query structure: %s\n", dur, perf.Bytes(idx.MemoryFootprint()))
 	}
+	// Delta chain next to the base, if any: one line per segment plus the
+	// head stamp queries would answer at.
+	chain, err := delta.LoadChain(*in)
+	if err != nil {
+		return err
+	}
+	for i, seg := range chain.Segs {
+		adds, dels := seg.Counts()
+		fmt.Printf("delta %s: generation %d on %d, +%d -%d facts, %d pointers × %d objects\n",
+			filepath.Base(chain.Paths[i]), seg.Gen, seg.Parent, adds, dels,
+			seg.NumPointers, seg.NumObjects)
+	}
+	if len(chain.Segs) > 0 {
+		fmt.Printf("chain: %d segments, head generation %d\n", len(chain.Segs), chain.Head())
+	}
+	if chain.Broken != "" {
+		fmt.Printf("chain stops early: %s\n", chain.Broken)
+	}
 	return nil
 }
 
@@ -469,15 +670,41 @@ func query(args []string) error {
 	p := fs.Int("p", -1, "pointer ID")
 	q := fs.Int("q", -1, "second pointer ID (isalias)")
 	o := fs.Int("o", -1, "object ID (pointedby)")
+	at := fs.String("at", "", `generation to answer at: a stamp, or "head" for the newest delta segment (default: the base alone, ignoring any chain)`)
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("query needs -in")
 	}
-	idx, err := pestrie.OpenFile(*in)
-	if err != nil {
-		return err
+	var idx delta.Index
+	if *at == "" {
+		base, err := pestrie.OpenFile(*in)
+		if err != nil {
+			return err
+		}
+		defer base.Close()
+		idx = base
+	} else {
+		v, chain, err := delta.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer v.Close()
+		if chain.Broken != "" {
+			fmt.Fprintf(os.Stderr, "pestrie: warning: chain stops early: %s\n", chain.Broken)
+		}
+		sn := v.Head()
+		if *at != "head" {
+			g, err := strconv.ParseUint(*at, 10, 64)
+			if err != nil {
+				return fmt.Errorf("query: -at wants a generation stamp or \"head\", got %q", *at)
+			}
+			if sn = v.At(g); sn == nil {
+				return fmt.Errorf("query: generation %d predates the base (generation %d)", g, v.BaseGeneration())
+			}
+		}
+		fmt.Printf("at generation %d (chain of %d)\n", sn.Generation(), v.Chain())
+		idx = sn
 	}
-	defer idx.Close()
 	printList := func(xs []int) {
 		sort.Ints(xs)
 		fmt.Println(len(xs), "results:", xs)
@@ -486,8 +713,8 @@ func query(args []string) error {
 	// empty answer for pointer 10^6 against a 10^3-pointer file hides the
 	// mismatch between the file and whatever produced the ID.
 	checkPointer := func(name string, v int) error {
-		if v >= idx.NumPointers {
-			return fmt.Errorf("-%s %d out of range: %s has pointers 0..%d", name, v, *in, idx.NumPointers-1)
+		if v >= idx.Pointers() {
+			return fmt.Errorf("-%s %d out of range: %s has pointers 0..%d", name, v, *in, idx.Pointers()-1)
 		}
 		return nil
 	}
@@ -523,8 +750,8 @@ func query(args []string) error {
 		if *o < 0 {
 			return fmt.Errorf("pointedby needs -o")
 		}
-		if *o >= idx.NumObjects {
-			return fmt.Errorf("-o %d out of range: %s has objects 0..%d", *o, *in, idx.NumObjects-1)
+		if *o >= idx.Objects() {
+			return fmt.Errorf("-o %d out of range: %s has objects 0..%d", *o, *in, idx.Objects()-1)
 		}
 		printList(idx.ListPointedBy(*o))
 	default:

@@ -8,7 +8,14 @@
 //	ptagen analyze -ir prog.ir -clone 1 -j 4 -out prog.ptm [-names prog.names]
 //	ptagen random -funcs 20 -vars 8 -stmts 30 -seed 7 -out prog.ir
 //	ptagen random -preset anders-web -out prog.ir
+//	ptagen mutate -preset fop -steps 5 -out dir/fop [-final-ptm fop5.ptm]
 //	ptagen list
+//
+// mutate encodes a base matrix to dir/fop.pes and then replays a
+// deterministic edit stream over it (see internal/synth.EditStream),
+// emitting one stamped delta segment per step next to the base — the
+// reproducible incremental workload for pestrie's delta, compact, and
+// store-refresh paths. Same seed, same flags: byte-identical files.
 package main
 
 import (
@@ -19,8 +26,10 @@ import (
 
 	"pestrie"
 	"pestrie/internal/bitset"
+	"pestrie/internal/delta"
 	"pestrie/internal/ir"
 	"pestrie/internal/perf"
+	"pestrie/internal/synth"
 )
 
 func main() {
@@ -37,6 +46,8 @@ func main() {
 		err = random(os.Args[2:])
 	case "import":
 		err = importFacts(os.Args[2:])
+	case "mutate":
+		err = mutate(os.Args[2:])
 	case "list":
 		err = list()
 	default:
@@ -49,7 +60,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ptagen <preset|analyze|random|import|list> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: ptagen <preset|analyze|random|import|mutate|list> [flags]")
 	os.Exit(2)
 }
 
@@ -241,6 +252,92 @@ func random(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %s: %d functions, %d statements\n", *out, len(prog.Funcs), prog.NumStmts())
+	return nil
+}
+
+// mutate writes a base persistent file plus a deterministic chain of delta
+// segments next to it — the incremental-update workload. The base comes
+// from a Table 2 preset or an existing .ptm; the edit stream is seeded, so
+// the whole file set reproduces bit for bit.
+func mutate(args []string) error {
+	fs := flag.NewFlagSet("mutate", flag.ExitOnError)
+	bitset.Flag(fs)
+	presetName := fs.String("preset", "", "base preset name (see: ptagen list)")
+	scale := fs.Float64("scale", 0.01, "preset scale factor")
+	in := fs.String("in", "", "base matrix file (.ptm) instead of -preset")
+	out := fs.String("out", "", "output stem: writes <out>.pes and <out>.dNNNNNN.pesd")
+	steps := fs.Int("steps", 5, "delta segments to emit")
+	edits := fs.Int("edits", 0, "fact flips per step (0 = 64)")
+	seed := fs.Int64("seed", 1, "edit-stream seed")
+	addFrac := fs.Float64("add-frac", 0.7, "fraction of edits that add a fact")
+	growEvery := fs.Int("grow-every", 0, "grow the pointer/object universe every Nth step (0 = never)")
+	growPointers := fs.Int("grow-pointers", 0, "pointers added per growth step (0 = 8)")
+	growObjects := fs.Int("grow-objects", 0, "objects added per growth step (0 = 4)")
+	v2 := fs.Bool("v2", false, "write the base in the zero-copy PES2 format")
+	finalPTM := fs.String("final-ptm", "", "also write the matrix after the last step (compaction oracle)")
+	fs.Parse(args)
+	if (*presetName == "") == (*in == "") || *out == "" {
+		return fmt.Errorf("mutate needs exactly one of -preset/-in, plus -out")
+	}
+	if *steps <= 0 {
+		return fmt.Errorf("mutate needs -steps >= 1")
+	}
+	var pm *pestrie.Matrix
+	if *presetName != "" {
+		b := pestrie.BenchmarkByName(*presetName)
+		if b == nil {
+			return fmt.Errorf("unknown preset %q (try: ptagen list)", *presetName)
+		}
+		pm = b.Generate(*scale)
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		var rerr error
+		pm, rerr = pestrie.ReadMatrix(f)
+		f.Close()
+		if rerr != nil {
+			return rerr
+		}
+	}
+	basePath := *out + ".pes"
+	trie := pestrie.Build(pm, nil)
+	if *v2 {
+		if err := pestrie.WriteFileV2(trie.Index(), basePath); err != nil {
+			return err
+		}
+	} else if err := pestrie.WriteFile(trie, basePath); err != nil {
+		return err
+	}
+	hint, err := delta.FileHint(basePath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("base: %s (%d pointers × %d objects, %d facts, hint %016x)\n",
+		basePath, pm.NumPointers, pm.NumObjects, pm.Edges(), hint)
+	es := synth.NewEditStream(pm, synth.EditConfig{
+		Seed:         *seed,
+		EditsPerStep: *edits,
+		AddFrac:      *addFrac,
+		GrowEvery:    *growEvery,
+		GrowPointers: *growPointers,
+		GrowObjects:  *growObjects,
+		BaseHint:     hint,
+	})
+	for i := 0; i < *steps; i++ {
+		seg := es.Next()
+		path := delta.SegmentPath(basePath, seg.Gen)
+		if err := delta.WriteSegmentFile(path, seg); err != nil {
+			return err
+		}
+		adds, dels := seg.Counts()
+		fmt.Printf("segment: %s (generation %d, +%d -%d facts, %d pointers × %d objects)\n",
+			path, seg.Gen, adds, dels, seg.NumPointers, seg.NumObjects)
+	}
+	if *finalPTM != "" {
+		return writeMatrix(es.Matrix(), *finalPTM)
+	}
 	return nil
 }
 

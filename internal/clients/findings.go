@@ -133,9 +133,20 @@ func TaintFindings(prog *ir.Program, res *anders.Result, q Queries) []Finding {
 // answered from the oracle; the may case from a branch-sensitive
 // must-defined walk over the IR.
 func NullDerefFindings(prog *ir.Program, res *anders.Result, q Queries) []Finding {
+	return nullDerefFindingsIn(prog, res, q, nil)
+}
+
+// nullDerefFindingsIn is NullDerefFindings restricted to the named
+// functions (nil: all of them). The checker only consults the enclosing
+// function's own pointers, so skipping a function loses nothing about the
+// ones kept.
+func nullDerefFindingsIn(prog *ir.Program, res *anders.Result, q Queries, keep map[string]bool) []Finding {
 	var out []Finding
 	for _, f := range prog.Funcs {
 		f := f
+		if keep != nil && !keep[f.Name] {
+			continue
+		}
 		emptyPts := func(v string) bool {
 			id := res.PointerID(f.Name + "." + v)
 			return id < 0 || len(q.ListPointsTo(id)) == 0
@@ -256,12 +267,8 @@ func UseAfterFreeFindings(prog *ir.Program, res *anders.Result, q Queries) []Fin
 // CheckNames lists the five checkers in canonical (sorted) order.
 var CheckNames = []string{"leak", "nullderef", "race", "taint", "uaf"}
 
-// Run executes the named checkers against one program and one pointer
-// oracle and returns the merged, deterministically sorted findings.
-// leakRoots names the function whose locals form the leak checker's root
-// set (conventionally "main"). Every checker consumes only the Queries
-// interface, so res supplies names while q may be any persistence backend.
-func Run(prog *ir.Program, res *anders.Result, q Queries, checks []string, leakRoots string) ([]Finding, error) {
+// checkSet validates a requested check list against CheckNames.
+func checkSet(checks []string) (map[string]bool, error) {
 	valid := map[string]bool{}
 	for _, c := range CheckNames {
 		valid[c] = true
@@ -272,6 +279,19 @@ func Run(prog *ir.Program, res *anders.Result, q Queries, checks []string, leakR
 			return nil, fmt.Errorf("clients: unknown check %q (have %s)", c, strings.Join(CheckNames, ", "))
 		}
 		want[c] = true
+	}
+	return want, nil
+}
+
+// Run executes the named checkers against one program and one pointer
+// oracle and returns the merged, deterministically sorted findings.
+// leakRoots names the function whose locals form the leak checker's root
+// set (conventionally "main"). Every checker consumes only the Queries
+// interface, so res supplies names while q may be any persistence backend.
+func Run(prog *ir.Program, res *anders.Result, q Queries, checks []string, leakRoots string) ([]Finding, error) {
+	want, err := checkSet(checks)
+	if err != nil {
+		return nil, err
 	}
 	var out []Finding
 	if want["race"] {

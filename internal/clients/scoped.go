@@ -1,0 +1,204 @@
+package clients
+
+import (
+	"fmt"
+	"sort"
+
+	"pestrie/internal/anders"
+	"pestrie/internal/ir"
+)
+
+// Scoped re-checking: when persisted pointer information advances by a
+// delta segment (internal/delta), only the dirtied region can change
+// checker output. delta.Snapshot.AffectedPointers closes the edited
+// pointers under aliasing at both the old and new generation, so a
+// function owning no affected pointer keeps exactly its old findings for
+// every per-function checker:
+//
+//   - race: a pair's finding is anchored at its first access; an anchor
+//     base outside the affected set has an unchanged alias set, so every
+//     pair it anchors is decided the same way.
+//   - nullderef: consults only the enclosing function's own pointers.
+//   - uaf: a release-set change for object o implies the sink pointer and
+//     every base reaching o alias each other before or after the edit, so
+//     all their functions are dirty.
+//
+// leak and taint are whole-program value flows (a root in main, a
+// source-to-sink path through any call chain) and are re-run globally —
+// scoping them would trade soundness for speed. Merge reassembles the full
+// head-generation listing from a previous full run plus one scoped run;
+// TestScopedMatchesFull holds that equal to Run at the head.
+
+// globalChecks are the checkers whose findings a scoped run always
+// recomputes in full.
+var globalChecks = map[string]bool{"leak": true, "taint": true}
+
+// DirtyFuncs returns the sorted names of the functions owning at least one
+// pointer in affected — params, locals, and every variable a statement
+// mentions, resolved exactly the way the checkers resolve them.
+func DirtyFuncs(prog *ir.Program, res *anders.Result, affected []int) []string {
+	set := make(map[int]bool, len(affected))
+	for _, p := range affected {
+		set[p] = true
+	}
+	var out []string
+	for _, f := range prog.Funcs {
+		f := f
+		dirty := false
+		check := func(v string) {
+			if dirty || v == "" {
+				return
+			}
+			if id := res.PointerID(f.Name + "." + v); id >= 0 && set[id] {
+				dirty = true
+			}
+		}
+		for _, p := range f.Params {
+			check(p)
+		}
+		ir.Walk(f.Body, func(st *ir.Stmt) {
+			check(st.Dst)
+			check(st.Src)
+			for _, a := range st.Args {
+				check(a)
+			}
+		})
+		if dirty {
+			out = append(out, f.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ScopedResult is one scoped checker run: the findings of the dirtied
+// region (plus full results for the global checks), and enough bookkeeping
+// for Merge to splice them into a previous full listing.
+type ScopedResult struct {
+	Findings []Finding
+	Dirty    []string // dirty function names, sorted
+	Checks   []string // checks this run covered
+	dirtySet map[string]bool
+}
+
+// Merge combines a previous full listing with this scoped run into the
+// full listing at the scoped run's generation: previous findings of the
+// re-run checks are dropped where superseded — everywhere for the global
+// checks, in dirty functions otherwise — and the scoped findings take
+// their place.
+func (sc *ScopedResult) Merge(prev []Finding) []Finding {
+	ran := make(map[string]bool, len(sc.Checks))
+	for _, c := range sc.Checks {
+		ran[c] = true
+	}
+	out := make([]Finding, 0, len(prev)+len(sc.Findings))
+	for _, f := range prev {
+		if ran[f.Check] && (globalChecks[f.Check] || sc.dirtySet[f.Func]) {
+			continue
+		}
+		out = append(out, f)
+	}
+	out = append(out, sc.Findings...)
+	SortFindings(out)
+	return out
+}
+
+// raceFindingsScoped is RaceFindings restricted to pairs anchored (first
+// access) in a dirty function; alias sets are fetched only for the anchored
+// bases.
+func raceFindingsScoped(accesses []Access, q Queries, dirty map[string]bool) []Finding {
+	present := map[int]bool{}
+	for _, a := range accesses {
+		present[a.BaseID] = true
+	}
+	aliased := map[int]map[int]bool{}
+	for _, a := range accesses {
+		if !dirty[a.Func] || aliased[a.BaseID] != nil {
+			continue
+		}
+		set := map[int]bool{a.BaseID: true}
+		for _, other := range q.ListAliases(a.BaseID) {
+			if present[other] {
+				set[other] = true
+			}
+		}
+		aliased[a.BaseID] = set
+	}
+	var out []Finding
+	for i := 0; i < len(accesses); i++ {
+		a := accesses[i]
+		if !dirty[a.Func] {
+			continue
+		}
+		for j := i + 1; j < len(accesses); j++ {
+			b := accesses[j]
+			if !a.IsWrite && !b.IsWrite {
+				continue
+			}
+			if aliased[a.BaseID][b.BaseID] {
+				out = append(out, Finding{
+					Check: "race",
+					Func:  a.Func,
+					Line:  a.Line,
+					Stmt:  a.Stmt,
+					Msg: fmt.Sprintf("%s *%s conflicts with %s *%s (%s): aliasing bases, at least one write",
+						a.op(), a.Base, b.op(), b.Base, b.pos()),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// uafFindingsScoped builds the release map from every sink in the program
+// (release sites are global state) but re-examines only the accesses of
+// dirty functions.
+func uafFindingsScoped(prog *ir.Program, res *anders.Result, q Queries, dirty map[string]bool) []Finding {
+	all := UseAfterFreeFindings(prog, res, q)
+	out := all[:0]
+	for _, f := range all {
+		if dirty[f.Func] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// RunScoped is Run restricted to the region a delta dirtied: affected is
+// delta.Snapshot.AffectedPointers (or any aliasing-closed superset of the
+// edited pointers), q answers at the new generation, and the result holds
+// the new findings of the dirty functions plus full re-runs of the
+// whole-program checks. Splice into the previous full listing with Merge.
+func RunScoped(prog *ir.Program, res *anders.Result, q Queries, checks []string, leakRoots string, affected []int) (*ScopedResult, error) {
+	want, err := checkSet(checks)
+	if err != nil {
+		return nil, err
+	}
+	dirty := DirtyFuncs(prog, res, affected)
+	sc := &ScopedResult{Dirty: dirty, dirtySet: make(map[string]bool, len(dirty))}
+	for _, f := range dirty {
+		sc.dirtySet[f] = true
+	}
+	for _, c := range CheckNames {
+		if want[c] {
+			sc.Checks = append(sc.Checks, c)
+		}
+	}
+	if want["race"] {
+		sc.Findings = append(sc.Findings, raceFindingsScoped(CollectAccesses(prog, res), q, sc.dirtySet)...)
+	}
+	if want["leak"] {
+		sc.Findings = append(sc.Findings, LeakFindings(res, q, MainRoots(prog, res, leakRoots))...)
+	}
+	if want["taint"] {
+		sc.Findings = append(sc.Findings, TaintFindings(prog, res, q)...)
+	}
+	if want["nullderef"] {
+		sc.Findings = append(sc.Findings, nullDerefFindingsIn(prog, res, q, sc.dirtySet)...)
+	}
+	if want["uaf"] {
+		sc.Findings = append(sc.Findings, uafFindingsScoped(prog, res, q, sc.dirtySet)...)
+	}
+	SortFindings(sc.Findings)
+	return sc, nil
+}

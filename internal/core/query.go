@@ -567,3 +567,14 @@ func (ix *Index) MemoryFootprint() int64 {
 
 // Rectangles returns the number of rectangle labels backing the index.
 func (ix *Index) Rectangles() int { return ix.rectCount }
+
+// Pointers, Objects, and Groups mirror the exported dimension fields as
+// methods, so the Index satisfies the delta.Index query interface the
+// store and server consume (interfaces cannot name fields).
+func (ix *Index) Pointers() int { return ix.NumPointers }
+
+// Objects returns NumObjects; see Pointers.
+func (ix *Index) Objects() int { return ix.NumObjects }
+
+// Groups returns NumGroups; see Pointers.
+func (ix *Index) Groups() int { return ix.NumGroups }

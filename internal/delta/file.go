@@ -1,0 +1,267 @@
+package delta
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"pestrie/internal/safeio"
+)
+
+// On-disk PESD1 layout (see FORMATS.md for the normative spec):
+//
+//	"PESD"                         magic
+//	uvarint version                1
+//	uvarint gen                    generation stamp, >= 1
+//	uvarint parent                 stamp this segment applies on top of, < gen
+//	8 bytes LE baseHint            first 8 bytes of SHA-256 of the base file (0 = unchecked)
+//	uvarint numPointers
+//	uvarint numObjects             dimensions AFTER applying this segment
+//	uvarint runCount
+//	runCount × run:
+//	    uvarint ptr | ptrGap       first run: absolute pointer; later: gap to previous (>= 1)
+//	    uvarint addCount
+//	    uvarint delCount           addCount + delCount >= 1
+//	    addCount × uvarint         first absolute object, then ascending gaps (>= 1)
+//	    delCount × uvarint         same layout
+//	4 bytes LE CRC-32 (IEEE)       over every preceding byte; nothing may follow
+//
+// Like every decoder in this module, ReadSegment treats the input as
+// untrusted: header counts only bound preallocation through safeio.Cap,
+// all IDs are range-checked against the declared dimensions, and malformed
+// or truncated input returns an error, never a panic.
+
+const (
+	pesdMagic   = "PESD"
+	pesdVersion = 1
+)
+
+// maxUvarints caps how many uvarints a declared count may promise, judged
+// against the bytes actually remaining (each uvarint is at least one byte).
+func maxUvarints(remaining int) int { return remaining }
+
+// WriteTo encodes the segment in PESD1 form. The segment is validated
+// first, so every written file decodes.
+func (s *Segment) WriteTo(w io.Writer) (int64, error) {
+	if err := s.validate(); err != nil {
+		return 0, err
+	}
+	var buf bytes.Buffer
+	buf.WriteString(pesdMagic)
+	putUvarint(&buf, pesdVersion)
+	putUvarint(&buf, s.Gen)
+	putUvarint(&buf, s.Parent)
+	var hint [8]byte
+	binary.LittleEndian.PutUint64(hint[:], s.BaseHint)
+	buf.Write(hint[:])
+	putUvarint(&buf, uint64(s.NumPointers))
+	putUvarint(&buf, uint64(s.NumObjects))
+	putUvarint(&buf, uint64(len(s.Runs)))
+	prevPtr := int32(0)
+	for i, r := range s.Runs {
+		if i == 0 {
+			putUvarint(&buf, uint64(r.Ptr))
+		} else {
+			putUvarint(&buf, uint64(r.Ptr-prevPtr))
+		}
+		prevPtr = r.Ptr
+		putUvarint(&buf, uint64(len(r.Add)))
+		putUvarint(&buf, uint64(len(r.Del)))
+		putObjs(&buf, r.Add)
+		putObjs(&buf, r.Del)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(crc[:])
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+func putObjs(buf *bytes.Buffer, objs []int32) {
+	prev := int32(0)
+	for i, o := range objs {
+		if i == 0 {
+			putUvarint(buf, uint64(o))
+		} else {
+			putUvarint(buf, uint64(o-prev))
+		}
+		prev = o
+	}
+}
+
+// ReadSegment decodes a PESD1 segment from r, enforcing every invariant of
+// the format.
+func ReadSegment(r io.Reader) (*Segment, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("pesd: reading segment: %w", err)
+	}
+	return DecodeSegment(data)
+}
+
+// DecodeSegment decodes a PESD1 segment from an in-memory image.
+func DecodeSegment(data []byte) (*Segment, error) {
+	if len(data) < len(pesdMagic)+4 || string(data[:len(pesdMagic)]) != pesdMagic {
+		return nil, fmt.Errorf("pesd: bad magic")
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return nil, fmt.Errorf("pesd: CRC mismatch: file says %08x, content is %08x", want, got)
+	}
+	d := &decoder{data: body, pos: len(pesdMagic)}
+	if v := d.uvarint("version"); d.err == nil && v != pesdVersion {
+		return nil, fmt.Errorf("pesd: unsupported version %d", v)
+	}
+	s := &Segment{
+		Gen:    d.uvarint("gen"),
+		Parent: d.uvarint("parent"),
+	}
+	if d.err == nil {
+		if d.pos+8 > len(d.data) {
+			d.err = fmt.Errorf("pesd: truncated base hint")
+		} else {
+			s.BaseHint = binary.LittleEndian.Uint64(d.data[d.pos:])
+			d.pos += 8
+		}
+	}
+	s.NumPointers = d.count("numPointers")
+	s.NumObjects = d.count("numObjects")
+	runCount := d.count("runCount")
+	if d.err == nil && runCount > maxUvarints(len(d.data)-d.pos) {
+		d.err = fmt.Errorf("pesd: %d runs cannot fit in %d remaining bytes", runCount, len(d.data)-d.pos)
+	}
+	if d.err == nil {
+		s.Runs = make([]Run, 0, safeio.Cap(runCount))
+		prevPtr := int32(0)
+		for i := 0; i < runCount && d.err == nil; i++ {
+			r := Run{}
+			gap := d.uvarint("run pointer")
+			if i == 0 {
+				r.Ptr = int32(clampID(gap))
+			} else {
+				if gap == 0 {
+					d.err = fmt.Errorf("pesd: run pointers not strictly ascending")
+					break
+				}
+				r.Ptr = prevPtr + int32(clampID(gap))
+			}
+			prevPtr = r.Ptr
+			addCount := d.count("addCount")
+			delCount := d.count("delCount")
+			if d.err == nil && addCount+delCount > maxUvarints(len(d.data)-d.pos) {
+				d.err = fmt.Errorf("pesd: run promises %d entries with %d bytes left", addCount+delCount, len(d.data)-d.pos)
+				break
+			}
+			r.Add = d.objs(addCount)
+			r.Del = d.objs(delCount)
+			s.Runs = append(s.Runs, r)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(d.data) {
+		return nil, fmt.Errorf("pesd: %d trailing bytes", len(d.data)-d.pos)
+	}
+	// The structural invariants (ascending runs, ranges, add/del overlap,
+	// gen > parent) are re-checked on the assembled segment so the decoder
+	// and validate can never disagree.
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// clampID narrows a decoded uvarint so the int32 arithmetic above cannot
+// wrap before validate range-checks the result; any clamped value is
+// necessarily out of range and rejected there.
+func clampID(v uint64) uint64 {
+	const limit = 1 << 30
+	if v > limit {
+		return limit
+	}
+	return v
+}
+
+type decoder struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (d *decoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.err = fmt.Errorf("pesd: truncated or malformed %s", what)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) count(what string) int {
+	v := d.uvarint(what)
+	if d.err == nil && v > 1<<30 {
+		d.err = fmt.Errorf("pesd: %s %d out of range", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) objs(n int) []int32 {
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int32, 0, safeio.Cap(n))
+	prev := int32(0)
+	for i := 0; i < n; i++ {
+		gap := d.uvarint("object")
+		if d.err != nil {
+			return nil
+		}
+		if i == 0 {
+			prev = int32(clampID(gap))
+		} else {
+			if gap == 0 {
+				d.err = fmt.Errorf("pesd: objects not strictly ascending")
+				return nil
+			}
+			prev += int32(clampID(gap))
+		}
+		out = append(out, prev)
+	}
+	return out
+}
+
+// WriteSegmentFile writes the segment to path in PESD1 form.
+func WriteSegmentFile(path string, s *Segment) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := s.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSegmentFile reads and validates the PESD1 segment at path.
+func ReadSegmentFile(path string) (*Segment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSegment(data)
+}

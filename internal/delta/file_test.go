@@ -1,0 +1,240 @@
+package delta
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pestrie/internal/matrix"
+)
+
+// randMatrix builds a deterministic random matrix.
+func randMatrix(seed int64, np, no, edges int) *matrix.PointsTo {
+	rng := rand.New(rand.NewSource(seed))
+	pm := matrix.New(np, no)
+	for i := 0; i < edges; i++ {
+		pm.Add(rng.Intn(np), rng.Intn(no))
+	}
+	return pm
+}
+
+// randEdit flips n facts of a clone of pm, growing to the given dimensions.
+func randEdit(pm *matrix.PointsTo, seed int64, n, np, no int) *matrix.PointsTo {
+	rng := rand.New(rand.NewSource(seed))
+	out := pm.Grown(np, no)
+	for i := 0; i < n; i++ {
+		p, o := rng.Intn(np), rng.Intn(no)
+		if out.Has(p, o) {
+			out.Remove(p, o)
+		} else {
+			out.Add(p, o)
+		}
+	}
+	return out
+}
+
+// diffSegment builds a stamped segment between two matrices, failing the
+// test if they turn out equal.
+func diffSegment(t *testing.T, from, to *matrix.PointsTo, gen, parent uint64) *Segment {
+	t.Helper()
+	s, err := Diff(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil {
+		t.Fatal("diff produced no segment")
+	}
+	s.Gen, s.Parent, s.BaseHint = gen, parent, 0xdeadbeefcafef00d
+	return s
+}
+
+func encodeSegment(t *testing.T, s *Segment) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		from := randMatrix(seed, 60, 30, 300)
+		to := randEdit(from, seed+100, 40, 68, 33)
+		s := diffSegment(t, from, to, uint64(seed)+3, uint64(seed))
+		got, err := DecodeSegment(encodeSegment(t, s))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("seed %d: round trip diverged:\n got %+v\nwant %+v", seed, got, s)
+		}
+	}
+}
+
+func TestDiffAppliesBack(t *testing.T) {
+	from := randMatrix(7, 50, 25, 250)
+	to := randEdit(from, 8, 60, 55, 27)
+	s := diffSegment(t, from, to, 1, 0)
+	// Replaying the diff onto `from` must land exactly on `to`.
+	replay := from.Grown(s.NumPointers, s.NumObjects)
+	for _, r := range s.Runs {
+		for _, o := range r.Del {
+			replay.Remove(int(r.Ptr), int(o))
+		}
+		for _, o := range r.Add {
+			replay.Add(int(r.Ptr), int(o))
+		}
+	}
+	if !replay.Equal(to) {
+		t.Fatal("replaying the diff did not reproduce the target matrix")
+	}
+	// Equal matrices diff to nil.
+	if s2, err := Diff(to, to.Clone()); err != nil || s2 != nil {
+		t.Fatalf("diff of equal matrices: %v, %v", s2, err)
+	}
+	// Shrinking dimensions is an error.
+	if _, err := Diff(to, from); err == nil {
+		t.Fatal("shrinking diff did not fail")
+	}
+}
+
+// rawSegment encodes header fields and runs without validating, so tests
+// can craft structurally invalid but CRC-correct frames.
+type rawRun struct {
+	ptrDelta uint64 // absolute for the first run, gap after
+	add, del []uint64
+}
+
+func rawSegment(version, gen, parent uint64, hint uint64, np, no uint64, runs []rawRun) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("PESD")
+	put := func(v uint64) {
+		var tmp [binary.MaxVarintLen64]byte
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+	}
+	put(version)
+	put(gen)
+	put(parent)
+	var h [8]byte
+	binary.LittleEndian.PutUint64(h[:], hint)
+	buf.Write(h[:])
+	put(np)
+	put(no)
+	put(uint64(len(runs)))
+	for _, r := range runs {
+		put(r.ptrDelta)
+		put(uint64(len(r.add)))
+		put(uint64(len(r.del)))
+		for _, v := range r.add {
+			put(v)
+		}
+		for _, v := range r.del {
+			put(v)
+		}
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(crc[:])
+	return buf.Bytes()
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", append([]byte("PESX"), rawSegment(1, 1, 0, 0, 4, 4, nil)[4:]...)},
+		{"bad version", rawSegment(2, 1, 0, 0, 4, 4, nil)},
+		{"gen equals parent", rawSegment(1, 3, 3, 0, 4, 4, []rawRun{{0, []uint64{1}, nil}})},
+		{"gen zero", rawSegment(1, 0, 0, 0, 4, 4, []rawRun{{0, []uint64{1}, nil}})},
+		{"empty run", rawSegment(1, 1, 0, 0, 4, 4, []rawRun{{0, nil, nil}})},
+		{"pointer out of range", rawSegment(1, 1, 0, 0, 4, 4, []rawRun{{9, []uint64{1}, nil}})},
+		{"object out of range", rawSegment(1, 1, 0, 0, 4, 4, []rawRun{{0, []uint64{9}, nil}})},
+		{"zero pointer gap", rawSegment(1, 1, 0, 0, 4, 4, []rawRun{{0, []uint64{1}, nil}, {0, []uint64{2}, nil}})},
+		{"zero object gap", rawSegment(1, 1, 0, 0, 4, 4, []rawRun{{0, []uint64{1, 0}, nil}})},
+		{"add/del overlap", rawSegment(1, 1, 0, 0, 4, 4, []rawRun{{0, []uint64{2}, []uint64{2}}})},
+		{"run count bomb", rawSegment(1, 1, 0, 0, 4, 4, nil)[:0]},
+		{"huge pointer gap", rawSegment(1, 1, 0, 0, 4, 4, []rawRun{{1 << 40, []uint64{1}, nil}})},
+		{"huge object", rawSegment(1, 1, 0, 0, 4, 4, []rawRun{{0, []uint64{1 << 40}, nil}})},
+	}
+	// A declared run count far beyond the remaining bytes must be rejected
+	// before allocation, not by running out of input mid-way.
+	bomb := rawSegment(1, 1, 0, 0, 4, 4, nil)
+	body := bomb[:len(bomb)-4]
+	body = body[:len(body)-1]                               // drop runCount=0
+	body = append(body, 0xff, 0xff, 0xff, 0xff, 0xff, 0x07) // runCount ≈ 2^34
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+	cases[11].data = append(body, crc[:]...)
+
+	for _, tc := range cases {
+		if s, err := DecodeSegment(tc.data); err == nil {
+			t.Errorf("%s: decoded without error: %+v", tc.name, s)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	from := randMatrix(11, 40, 20, 200)
+	to := randEdit(from, 12, 30, 40, 20)
+	valid := encodeSegment(t, diffSegment(t, from, to, 2, 1))
+	if _, err := DecodeSegment(valid); err != nil {
+		t.Fatal(err)
+	}
+	// Every single-byte flip breaks the CRC (or the magic); none may decode
+	// or panic.
+	for i := range valid {
+		corrupt := append([]byte(nil), valid...)
+		corrupt[i] ^= 0x41
+		if _, err := DecodeSegment(corrupt); err == nil {
+			t.Fatalf("byte flip at %d decoded without error", i)
+		}
+	}
+	// Every proper prefix is truncated; none may decode or panic.
+	for i := 0; i < len(valid); i++ {
+		if _, err := DecodeSegment(valid[:i]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", i)
+		}
+	}
+	// Trailing garbage after the CRC is rejected.
+	if _, err := DecodeSegment(append(append([]byte(nil), valid...), 0x00)); err == nil {
+		t.Fatal("trailing byte decoded without error")
+	}
+}
+
+func FuzzLoadDelta(f *testing.F) {
+	from := randMatrix(21, 30, 15, 120)
+	to := randEdit(from, 22, 25, 34, 17)
+	s, err := Diff(from, to)
+	if err != nil || s == nil {
+		f.Fatal("seed diff failed")
+	}
+	s.Gen, s.Parent, s.BaseHint = 5, 4, 42
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("PESD"))
+	f.Add(rawSegment(1, 1, 0, 0, 8, 8, []rawRun{{3, []uint64{1, 2}, []uint64{4}}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seg, err := DecodeSegment(data)
+		if err != nil {
+			return
+		}
+		// Anything the decoder accepts must satisfy every structural
+		// invariant — WriteTo re-validates — and round-trip decodably.
+		var out bytes.Buffer
+		if _, err := seg.WriteTo(&out); err != nil {
+			t.Fatalf("accepted segment fails validation: %v", err)
+		}
+		if _, err := DecodeSegment(out.Bytes()); err != nil {
+			t.Fatalf("re-encoded segment does not decode: %v", err)
+		}
+	})
+}

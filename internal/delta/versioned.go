@@ -1,0 +1,548 @@
+package delta
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pestrie/internal/core"
+)
+
+// baseHold refcounts a shared base index across the Versioned values built
+// over it: Extend returns a new Versioned that reuses the same decoded (or
+// mapped) base instead of re-decoding it, so the base may only be Closed —
+// which unmaps a PES2 file — when the last Versioned sharing it goes away.
+type baseHold struct {
+	ix   *core.Index
+	mu   sync.Mutex
+	refs int
+}
+
+func (h *baseHold) retain() {
+	h.mu.Lock()
+	h.refs++
+	h.mu.Unlock()
+}
+
+func (h *baseHold) release() error {
+	h.mu.Lock()
+	h.refs--
+	last := h.refs == 0
+	h.mu.Unlock()
+	if last {
+		return h.ix.Close()
+	}
+	return nil
+}
+
+// overlay is the cumulative effect of a delta-chain prefix relative to the
+// base, immutable once built. Snapshots layer exactly one overlay over the
+// base; applying one more segment copies the overlay (copy-on-write on the
+// touched rows), so every generation keeps answering from its own frozen
+// state while newer generations are installed — the read_snapshot
+// semantics of the flock persistent_ptr design.
+type overlay struct {
+	pointers, objects int
+	// dirty maps a pointer to its complete, sorted points-to set at this
+	// generation. Pointers absent from dirty are untouched: the base
+	// answer stands.
+	dirty map[int32][]int32
+	// addBy / delBy map an object to the sorted pointers that point at it
+	// now but not in the base, and to the sorted base pointers that no
+	// longer do. Invariants: addBy[o] is disjoint from the base's
+	// pointed-by set, delBy[o] is a subset of it, and both stay consistent
+	// with dirty.
+	addBy map[int32][]int32
+	delBy map[int32][]int32
+	// dirtyPtrs is the sorted key set of dirty.
+	dirtyPtrs []int32
+	bytes     int64
+}
+
+func (ov *overlay) clone() *overlay {
+	out := &overlay{
+		pointers: ov.pointers,
+		objects:  ov.objects,
+		dirty:    make(map[int32][]int32, len(ov.dirty)),
+		addBy:    make(map[int32][]int32, len(ov.addBy)),
+		delBy:    make(map[int32][]int32, len(ov.delBy)),
+	}
+	for k, v := range ov.dirty {
+		out.dirty[k] = v
+	}
+	for k, v := range ov.addBy {
+		out.addBy[k] = v
+	}
+	for k, v := range ov.delBy {
+		out.delBy[k] = v
+	}
+	return out
+}
+
+func (ov *overlay) finish() {
+	ov.dirtyPtrs = ov.dirtyPtrs[:0]
+	for p := range ov.dirty {
+		ov.dirtyPtrs = append(ov.dirtyPtrs, p)
+	}
+	sort.Slice(ov.dirtyPtrs, func(i, j int) bool { return ov.dirtyPtrs[i] < ov.dirtyPtrs[j] })
+	var n int64
+	for _, v := range ov.dirty {
+		n += int64(len(v))
+	}
+	for _, v := range ov.addBy {
+		n += int64(len(v))
+	}
+	for _, v := range ov.delBy {
+		n += int64(len(v))
+	}
+	// 4 bytes per stored ID plus a flat per-entry charge for map overhead.
+	ov.bytes = n*4 + int64(len(ov.dirty)+len(ov.addBy)+len(ov.delBy))*48
+}
+
+func contains(sorted []int32, x int32) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= x })
+	return i < len(sorted) && sorted[i] == x
+}
+
+// insertSorted returns a new slice with x added; shared tails are copied,
+// never mutated, because older overlays may alias the input.
+func insertSorted(sorted []int32, x int32) []int32 {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= x })
+	out := make([]int32, 0, len(sorted)+1)
+	out = append(out, sorted[:i]...)
+	out = append(out, x)
+	return append(out, sorted[i:]...)
+}
+
+func removeSorted(sorted []int32, x int32) []int32 {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= x })
+	if i >= len(sorted) || sorted[i] != x {
+		return sorted
+	}
+	out := make([]int32, 0, len(sorted)-1)
+	out = append(out, sorted[:i]...)
+	return append(out, sorted[i+1:]...)
+}
+
+// basePts returns the sorted base points-to set of p.
+func basePts(base *core.Index, p int32) []int32 {
+	pts := base.ListPointsTo(int(p))
+	out := make([]int32, len(pts))
+	for i, o := range pts {
+		out[i] = int32(o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// apply layers one more segment onto the overlay, returning a fresh
+// overlay and leaving the receiver untouched. Application is strict: a
+// segment that adds a fact already present at the parent generation, or
+// removes one that is absent, is rejected — silently tolerating either
+// would let a mis-chained segment corrupt every later generation.
+func (ov *overlay) apply(base *core.Index, s *Segment) (*overlay, error) {
+	if s.NumPointers < ov.pointers || s.NumObjects < ov.objects {
+		return nil, fmt.Errorf("pesd: segment %d shrinks dimensions %d×%d to %d×%d",
+			s.Gen, ov.pointers, ov.objects, s.NumPointers, s.NumObjects)
+	}
+	out := ov.clone()
+	out.pointers, out.objects = s.NumPointers, s.NumObjects
+	for _, r := range s.Runs {
+		cur, wasDirty := out.dirty[r.Ptr]
+		if !wasDirty {
+			cur = basePts(base, r.Ptr)
+		}
+		next := append([]int32(nil), cur...)
+		for _, o := range r.Del {
+			if !contains(next, o) {
+				return nil, fmt.Errorf("pesd: segment %d removes absent fact (%d,%d)", s.Gen, r.Ptr, o)
+			}
+			next = removeSorted(next, o)
+			if base.PointsTo(int(r.Ptr), int(o)) {
+				out.delBy[o] = insertSorted(out.delBy[o], r.Ptr)
+			} else {
+				out.addBy[o] = removeSorted(out.addBy[o], r.Ptr)
+				if len(out.addBy[o]) == 0 {
+					delete(out.addBy, o)
+				}
+			}
+		}
+		for _, o := range r.Add {
+			if contains(next, o) {
+				return nil, fmt.Errorf("pesd: segment %d adds existing fact (%d,%d)", s.Gen, r.Ptr, o)
+			}
+			next = insertSorted(next, o)
+			if base.PointsTo(int(r.Ptr), int(o)) {
+				out.delBy[o] = removeSorted(out.delBy[o], r.Ptr)
+				if len(out.delBy[o]) == 0 {
+					delete(out.delBy, o)
+				}
+			} else {
+				out.addBy[o] = insertSorted(out.addBy[o], r.Ptr)
+			}
+		}
+		out.dirty[r.Ptr] = next
+	}
+	out.finish()
+	return out, nil
+}
+
+// Snapshot answers the Table-1 queries at one pinned generation. It is an
+// immutable view: a Snapshot keeps answering from its generation no matter
+// how many newer segments are applied to sibling Versioned values. It
+// stays valid until the Versioned it came from is closed.
+type Snapshot struct {
+	base *core.Index
+	gen  uint64
+	ov   *overlay // nil: the snapshot is the base itself
+}
+
+// Generation returns the stamp every answer from this snapshot is pinned to.
+func (sn *Snapshot) Generation() uint64 { return sn.gen }
+
+// Pointers returns the pointer-universe size at this generation.
+func (sn *Snapshot) Pointers() int {
+	if sn.ov != nil {
+		return sn.ov.pointers
+	}
+	return sn.base.Pointers()
+}
+
+// Objects returns the object-universe size at this generation.
+func (sn *Snapshot) Objects() int {
+	if sn.ov != nil {
+		return sn.ov.objects
+	}
+	return sn.base.Objects()
+}
+
+// Groups returns the base index's timestamp-group count (deltas add no
+// groups until compaction folds them in).
+func (sn *Snapshot) Groups() int { return sn.base.Groups() }
+
+// Rectangles returns the base index's rectangle count.
+func (sn *Snapshot) Rectangles() int { return sn.base.Rectangles() }
+
+// Mapped reports whether the underlying base serves zero-copy.
+func (sn *Snapshot) Mapped() bool { return sn.base.Mapped() }
+
+// MemoryFootprint charges the base plus this generation's overlay.
+func (sn *Snapshot) MemoryFootprint() int64 {
+	n := sn.base.MemoryFootprint()
+	if sn.ov != nil {
+		n += sn.ov.bytes
+	}
+	return n
+}
+
+func (sn *Snapshot) dirtyRow(p int) ([]int32, bool) {
+	if sn.ov == nil {
+		return nil, false
+	}
+	row, ok := sn.ov.dirty[int32(p)]
+	return row, ok
+}
+
+// PointsTo reports whether p points to o at this generation.
+func (sn *Snapshot) PointsTo(p, o int) bool {
+	if p < 0 || p >= sn.Pointers() || o < 0 || o >= sn.Objects() {
+		return false
+	}
+	if row, ok := sn.dirtyRow(p); ok {
+		return contains(row, int32(o))
+	}
+	return sn.base.PointsTo(p, o)
+}
+
+// ListPointsTo returns the objects p points to at this generation.
+func (sn *Snapshot) ListPointsTo(p int) []int {
+	if p < 0 || p >= sn.Pointers() {
+		return nil
+	}
+	if row, ok := sn.dirtyRow(p); ok {
+		out := make([]int, len(row))
+		for i, o := range row {
+			out[i] = int(o)
+		}
+		return out
+	}
+	return sn.base.ListPointsTo(p)
+}
+
+// ListPointedBy returns the pointers pointing to o at this generation: the
+// base answer minus the removed pointers plus the added ones. Added
+// pointers are disjoint from the base set by overlay invariant, so the
+// answer stays duplicate-free.
+func (sn *Snapshot) ListPointedBy(o int) []int {
+	if o < 0 || o >= sn.Objects() {
+		return nil
+	}
+	if sn.ov == nil {
+		return sn.base.ListPointedBy(o)
+	}
+	del := sn.ov.delBy[int32(o)]
+	add := sn.ov.addBy[int32(o)]
+	baseAns := sn.base.ListPointedBy(o)
+	out := make([]int, 0, len(baseAns)+len(add))
+	for _, p := range baseAns {
+		if !contains(del, int32(p)) {
+			out = append(out, p)
+		}
+	}
+	for _, p := range add {
+		out = append(out, int(p))
+	}
+	return out
+}
+
+// IsAlias reports whether the points-to sets of p and q intersect at this
+// generation.
+func (sn *Snapshot) IsAlias(p, q int) bool {
+	if p < 0 || q < 0 || p >= sn.Pointers() || q >= sn.Pointers() {
+		return false
+	}
+	rowP, dirtyP := sn.dirtyRow(p)
+	rowQ, dirtyQ := sn.dirtyRow(q)
+	if p == q {
+		if dirtyP {
+			return len(rowP) > 0
+		}
+		return sn.base.IsAlias(p, q)
+	}
+	switch {
+	case !dirtyP && !dirtyQ:
+		// Both untouched: their sets equal the base sets exactly.
+		return sn.base.IsAlias(p, q)
+	case dirtyP:
+		for _, o := range rowP {
+			if sn.PointsTo(q, int(o)) {
+				return true
+			}
+		}
+		return false
+	default:
+		for _, o := range rowQ {
+			if sn.PointsTo(p, int(o)) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// ListAliases returns the pointers aliasing p at this generation,
+// duplicate-free and excluding p itself.
+func (sn *Snapshot) ListAliases(p int) []int {
+	if p < 0 || p >= sn.Pointers() {
+		return nil
+	}
+	if sn.ov == nil {
+		return sn.base.ListAliases(p)
+	}
+	if row, ok := sn.dirtyRow(p); ok {
+		// Dirty pointer: union the pinned pointed-by sets of its objects.
+		seen := make(map[int]struct{})
+		for _, o := range row {
+			for _, q := range sn.ListPointedBy(int(o)) {
+				if q != p {
+					seen[q] = struct{}{}
+				}
+			}
+		}
+		out := make([]int, 0, len(seen))
+		for q := range seen {
+			out = append(out, q)
+		}
+		sort.Ints(out)
+		return out
+	}
+	// Clean pointer: the base answer is correct for every clean q (both
+	// sets unchanged); dirty pointers are re-decided against this
+	// generation, whether or not the base aliased them.
+	baseAns := sn.base.ListAliases(p)
+	out := make([]int, 0, len(baseAns))
+	for _, q := range baseAns {
+		if _, dirty := sn.ov.dirty[int32(q)]; !dirty {
+			out = append(out, q)
+		}
+	}
+	for _, q := range sn.ov.dirtyPtrs {
+		if int(q) != p && sn.IsAlias(p, int(q)) {
+			out = append(out, int(q))
+		}
+	}
+	return out
+}
+
+// DirtyPointers returns the sorted pointers whose points-to sets differ
+// from the base at this generation (empty for the base snapshot).
+func (sn *Snapshot) DirtyPointers() []int {
+	if sn.ov == nil {
+		return nil
+	}
+	out := make([]int, len(sn.ov.dirtyPtrs))
+	for i, p := range sn.ov.dirtyPtrs {
+		out[i] = int(p)
+	}
+	return out
+}
+
+// AffectedPointers closes DirtyPointers under aliasing, in both the base
+// and this generation: a pointer whose own set never changed can still
+// gain or lose query answers through a dirty partner (a changed alias
+// pair, a shared object whose pointed-by set moved), and any such partner
+// aliases a dirty pointer before or after the edits. This is the dirtied
+// region ptalint re-checks; see clients.Run's scoped mode.
+func (sn *Snapshot) AffectedPointers() []int {
+	if sn.ov == nil {
+		return nil
+	}
+	seen := make(map[int]struct{})
+	for _, d := range sn.ov.dirtyPtrs {
+		p := int(d)
+		seen[p] = struct{}{}
+		for _, q := range sn.base.ListAliases(p) {
+			seen[q] = struct{}{}
+		}
+		for _, q := range sn.ListAliases(p) {
+			seen[q] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Versioned is a base index plus an applied delta chain: one Snapshot per
+// generation, all sharing one decoded base. Versioned values are immutable
+// (Extend returns a new one) and must be Closed to release the shared
+// base; Snapshots remain valid until then. A Versioned with no segments is
+// a thin wrapper over the base.
+type Versioned struct {
+	hold    *baseHold
+	baseGen uint64
+	snaps   []*Snapshot // snaps[0] is the base generation; one more per segment
+	once    sync.Once
+}
+
+// NewVersioned wraps base and applies the segments in order, taking
+// ownership of base (Close releases it). The first segment's Parent names
+// the base generation; with no segments the base generation is 0.
+func NewVersioned(base *core.Index, segs ...*Segment) (*Versioned, error) {
+	v := &Versioned{
+		hold:  &baseHold{ix: base, refs: 1},
+		snaps: []*Snapshot{{base: base, gen: 0}},
+	}
+	if len(segs) > 0 {
+		v.baseGen = segs[0].Parent
+		v.snaps[0].gen = v.baseGen
+	}
+	ext, err := v.Extend(segs...)
+	if err != nil {
+		return nil, err
+	}
+	if ext != v {
+		v.Close()
+	}
+	return ext, nil
+}
+
+// Open loads the base file at basePath (PES1 or PES2, as core.OpenFile)
+// and applies the valid delta chain discovered next to it. The returned
+// Chain reports what was found, including why a suffix was skipped.
+func Open(basePath string) (*Versioned, *Chain, error) {
+	chain, err := LoadChain(basePath)
+	if err != nil {
+		return nil, nil, err
+	}
+	base, err := core.OpenFile(basePath)
+	if err != nil {
+		return nil, nil, err
+	}
+	v, err := NewVersioned(base, chain.Segs...)
+	if err != nil {
+		base.Close()
+		return nil, nil, err
+	}
+	return v, chain, nil
+}
+
+// BaseGeneration returns the stamp of the base snapshot.
+func (v *Versioned) BaseGeneration() uint64 { return v.baseGen }
+
+// Chain returns the number of delta segments applied on top of the base.
+func (v *Versioned) Chain() int { return len(v.snaps) - 1 }
+
+// Head returns the newest snapshot.
+func (v *Versioned) Head() *Snapshot { return v.snaps[len(v.snaps)-1] }
+
+// Base returns the base snapshot (generation BaseGeneration).
+func (v *Versioned) Base() *Snapshot { return v.snaps[0] }
+
+// Generations returns the stamps of every snapshot, ascending.
+func (v *Versioned) Generations() []uint64 {
+	out := make([]uint64, len(v.snaps))
+	for i, sn := range v.snaps {
+		out[i] = sn.gen
+	}
+	return out
+}
+
+// At returns the newest snapshot with stamp <= gen — the read_snapshot
+// operation — or nil when gen predates the base.
+func (v *Versioned) At(gen uint64) *Snapshot {
+	i := sort.Search(len(v.snaps), func(i int) bool { return v.snaps[i].gen > gen })
+	if i == 0 {
+		return nil
+	}
+	return v.snaps[i-1]
+}
+
+// Extend applies further segments, returning a new Versioned sharing this
+// one's base (no re-decode) and snapshot prefix. Both values must still be
+// Closed independently; existing Snapshots are unaffected. With no
+// segments it returns the receiver.
+func (v *Versioned) Extend(segs ...*Segment) (*Versioned, error) {
+	if len(segs) == 0 {
+		return v, nil
+	}
+	head := v.Head()
+	snaps := append([]*Snapshot(nil), v.snaps...)
+	for _, s := range segs {
+		if s.Parent != head.gen {
+			return nil, fmt.Errorf("pesd: segment %d chains onto generation %d, head is %d",
+				s.Gen, s.Parent, head.gen)
+		}
+		prev := head.ov
+		if prev == nil {
+			prev = &overlay{
+				pointers: v.hold.ix.Pointers(),
+				objects:  v.hold.ix.Objects(),
+				dirty:    map[int32][]int32{},
+				addBy:    map[int32][]int32{},
+				delBy:    map[int32][]int32{},
+			}
+		}
+		ov, err := prev.apply(v.hold.ix, s)
+		if err != nil {
+			return nil, err
+		}
+		head = &Snapshot{base: v.hold.ix, gen: s.Gen, ov: ov}
+		snaps = append(snaps, head)
+	}
+	v.hold.retain()
+	return &Versioned{hold: v.hold, baseGen: v.baseGen, snaps: snaps}, nil
+}
+
+// Close releases this Versioned's reference on the shared base; the last
+// release closes the base index (unmapping a PES2 file). Callers must
+// drain queries against this value's Snapshots first, exactly as with
+// core.Index.Close — internal/store's refcount pinning provides this.
+func (v *Versioned) Close() error {
+	var err error
+	v.once.Do(func() { err = v.hold.release() })
+	return err
+}

@@ -49,6 +49,15 @@ func (pm *PointsTo) Add(p, o int) {
 	pm.rows[p].Set(o)
 }
 
+// Remove erases the fact that pointer p may point to object o. Removing an
+// absent fact is a no-op, as is an out-of-range pointer.
+func (pm *PointsTo) Remove(p, o int) {
+	if p < 0 || p >= pm.NumPointers || pm.rows[p] == nil {
+		return
+	}
+	pm.rows[p].Clear(o)
+}
+
 // Has reports whether pointer p may point to object o.
 func (pm *PointsTo) Has(p, o int) bool {
 	if p < 0 || p >= pm.NumPointers || pm.rows[p] == nil {
@@ -90,6 +99,24 @@ func (pm *PointsTo) Edges() int {
 // Clone returns a deep copy of the matrix.
 func (pm *PointsTo) Clone() *PointsTo {
 	out := New(pm.NumPointers, pm.NumObjects)
+	for p, r := range pm.rows {
+		if r != nil && !r.Empty() {
+			out.rows[p] = r.Copy()
+		}
+	}
+	return out
+}
+
+// Grown returns a deep copy of the matrix widened to the given dimensions.
+// New pointers start with empty points-to sets; existing facts carry over.
+// It panics if either dimension shrinks — delta segments only ever grow the
+// pointer/object universe (IDs are stable across analysis cycles, §6.2).
+func (pm *PointsTo) Grown(pointers, objects int) *PointsTo {
+	if pointers < pm.NumPointers || objects < pm.NumObjects {
+		panic(fmt.Sprintf("matrix: Grown(%d, %d) would shrink %d×%d",
+			pointers, objects, pm.NumPointers, pm.NumObjects))
+	}
+	out := New(pointers, objects)
 	for p, r := range pm.rows {
 		if r != nil && !r.Empty() {
 			out.rows[p] = r.Copy()

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"pestrie/internal/perf"
+	"pestrie/internal/store"
 )
 
 // Mix weights the §7.1.1 query mix the load generator replays: base
@@ -192,6 +193,35 @@ func RunBench(ctx context.Context, opts BenchOptions) (*BenchReport, error) {
 		return report, fmt.Errorf("bench: every request failed: %w", firstErr)
 	}
 	return report, nil
+}
+
+// FetchStoreStats retrieves the /debug/store snapshot from a running
+// server: per-backend generation stamps, delta-chain lengths, and the
+// full-load vs delta-apply latency split. It returns (nil, nil) when the
+// server has no managed store — eager -in deployments answer 404 there —
+// so callers can report store state opportunistically after a bench run.
+func FetchStoreStats(ctx context.Context, baseURL string) (*store.Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/debug/store", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var out store.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 func send(ctx context.Context, client *http.Client, url string, body []byte) (*BatchResponse, error) {

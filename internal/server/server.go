@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"pestrie/internal/core"
+	"pestrie/internal/delta"
 	"pestrie/internal/perf"
 	"pestrie/internal/store"
 )
@@ -198,7 +199,7 @@ func (s *Server) statsFor(name string) *backend {
 // store-resolved backends the returned release func unpins the decoded
 // generation and must be called when the request is done; it is nil for
 // static backends.
-func (s *Server) resolve(ctx context.Context, name string) (*backend, *core.Index, func(), error) {
+func (s *Server) resolve(ctx context.Context, name string) (*backend, delta.Index, func(), error) {
 	if name == "" {
 		names := s.names()
 		if len(names) != 1 {
@@ -242,8 +243,10 @@ type Result struct {
 
 // exec answers one query against an index, recording stats on b. The
 // index is passed in (rather than read from b) because store-resolved
-// backends pin a possibly different generation per request.
-func (b *backend) exec(ix *core.Index, q Query) Result {
+// backends pin a possibly different generation per request — a plain
+// decoded base, or a delta-chain snapshot whose answers are frozen at
+// that generation's stamp.
+func (b *backend) exec(ix delta.Index, q Query) Result {
 	st, ok := b.stats[q.Op]
 	if !ok {
 		return Result{Err: fmt.Sprintf("unknown op %q", q.Op)}
@@ -263,25 +266,25 @@ func (b *backend) exec(ix *core.Index, q Query) Result {
 	switch q.Op {
 	case "isalias":
 		var p, qq int
-		if p, err = need("p", q.P, ix.NumPointers); err == nil {
-			if qq, err = need("q", q.Q, ix.NumPointers); err == nil {
+		if p, err = need("p", q.P, ix.Pointers()); err == nil {
+			if qq, err = need("q", q.Q, ix.Pointers()); err == nil {
 				alias := ix.IsAlias(p, qq)
 				res.Alias = &alias
 			}
 		}
 	case "aliases":
 		var p int
-		if p, err = need("p", q.P, ix.NumPointers); err == nil {
+		if p, err = need("p", q.P, ix.Pointers()); err == nil {
 			res.IDs, err = marshalIDs(ix.ListAliases(p))
 		}
 	case "pointsto":
 		var p int
-		if p, err = need("p", q.P, ix.NumPointers); err == nil {
+		if p, err = need("p", q.P, ix.Pointers()); err == nil {
 			res.IDs, err = marshalIDs(ix.ListPointsTo(p))
 		}
 	case "pointedby":
 		var o int
-		if o, err = need("o", q.O, ix.NumObjects); err == nil {
+		if o, err = need("o", q.O, ix.Objects()); err == nil {
 			res.IDs, err = marshalIDs(ix.ListPointedBy(o))
 		}
 	}
@@ -306,7 +309,7 @@ func marshalIDs(ids []int) (json.RawMessage, error) {
 
 // runBatch answers queries with the worker pool, preserving order.
 // It stops early when ctx is done and reports what was left unanswered.
-func (s *Server) runBatch(ctx context.Context, b *backend, ix *core.Index, queries []Query) ([]Result, error) {
+func (s *Server) runBatch(ctx context.Context, b *backend, ix delta.Index, queries []Query) ([]Result, error) {
 	results := make([]Result, len(queries))
 	workers := s.opts.BatchWorkers
 	if workers > len(queries) {

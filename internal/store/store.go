@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"pestrie/internal/core"
+	"pestrie/internal/delta"
 	"pestrie/internal/perf"
 	"pestrie/internal/safeio"
 )
@@ -79,12 +80,18 @@ type Spec struct {
 	Path string
 }
 
-// generation is one decoded (or mapped) image of an entry's file.
-// Immutable after construction except for the refcount bookkeeping, which
-// Store.mu guards.
+// generation is one decoded (or mapped) image of an entry's file plus the
+// delta chain applied over it. Immutable after construction except for the
+// refcount bookkeeping, which Store.mu guards.
 type generation struct {
-	ix    *core.Index
-	sum   [sha256.Size]byte
+	// ix is the query surface: the base core.Index itself when no deltas
+	// are applied, or the chain-head delta.Snapshot.
+	ix delta.Index
+	// vx owns the base. Successive delta-extended generations share one
+	// decoded base through vx's internal refcount, so retiring the old
+	// generation never unmaps a base the new one still serves.
+	vx    *delta.Versioned
+	sum   [sha256.Size]byte // SHA-256 of the base file image
 	bytes int64
 
 	// guarded by Store.mu:
@@ -92,10 +99,15 @@ type generation struct {
 	retired bool // no longer the entry's current generation
 }
 
-// free releases the generation's backing store — munmap for mapped PES2
-// generations, a no-op for heap-decoded ones. Index.Close is idempotent,
-// so converging free paths (evict vs. last release) are harmless.
-func (g *generation) free() { _ = g.ix.Close() }
+// free releases the generation's backing store — for the last generation
+// sharing a base, that closes the base (munmap for mapped PES2 files).
+// Versioned.Close is idempotent, so converging free paths (evict vs. last
+// release) are harmless.
+func (g *generation) free() { _ = g.vx.Close() }
+
+// stamp returns the generation stamp of the delta-chain head (the base
+// generation when no deltas are applied).
+func (g *generation) stamp() uint64 { return g.vx.Head().Generation() }
 
 // dims is the last-known shape of an entry, kept across eviction so
 // monitoring can describe unloaded entries.
@@ -104,6 +116,31 @@ type dims struct {
 	Objects    int
 	Groups     int
 	Rectangles int
+
+	// Delta-chain lineage: the head stamp, the number of applied
+	// segments, every snapshot stamp (base first; omitted when the chain
+	// is empty), and why on-disk chain discovery stopped early, if it did.
+	Stamp     uint64
+	Chain     int
+	Lineage   []uint64
+	ChainNote string
+}
+
+// genDims summarizes a generation for monitoring.
+func genDims(g *generation, note string) dims {
+	d := dims{
+		Pointers:   g.ix.Pointers(),
+		Objects:    g.ix.Objects(),
+		Groups:     g.ix.Groups(),
+		Rectangles: g.ix.Rectangles(),
+		Stamp:      g.stamp(),
+		Chain:      g.vx.Chain(),
+		ChainNote:  note,
+	}
+	if d.Chain > 0 {
+		d.Lineage = g.vx.Generations()
+	}
+	return d
 }
 
 type entry struct {
@@ -125,7 +162,9 @@ type entry struct {
 	loads     atomic.Int64
 	evictions atomic.Int64
 	swaps     atomic.Int64
+	applies   atomic.Int64 // delta segments applied by Refresh without reloading the base
 	loadLat   perf.Histogram
+	applyLat  perf.Histogram
 }
 
 // inflight is one in-progress first load. The loader stores err and then
@@ -290,8 +329,15 @@ type Handle struct {
 	once sync.Once
 }
 
-// Index returns the pinned decoded index.
-func (h *Handle) Index() *core.Index { return h.g.ix }
+// Index returns the pinned query surface: the decoded base index, or the
+// head snapshot of base + applied delta chain. Either way the answers are
+// frozen at pin time — hot-swaps, delta applies, and eviction never move a
+// held Handle off its generation.
+func (h *Handle) Index() delta.Index { return h.g.ix }
+
+// Stamp returns the delta-generation stamp the pinned answers correspond
+// to (0 for a base that never had deltas).
+func (h *Handle) Stamp() uint64 { return h.g.stamp() }
 
 // Checksum returns the hex SHA-256 of the file image this generation was
 // decoded from.
@@ -407,6 +453,12 @@ func (s *Store) load(path string) (*generation, dims, error) {
 // served zero-copy: the generation's budget charge is the file size, and
 // freeing it unmaps. The mapping pins the inode, so PES2 rewriters must
 // replace the file by rename, never truncate it in place.
+//
+// A delta chain discovered next to the file (FORMATS.md §PESD1) is applied
+// on top, so the generation serves the chain head. A malformed or
+// mis-chained segment never fails the load: the valid prefix (possibly
+// empty) is served and the reason discovery stopped is surfaced via
+// EntryInfo.ChainNote.
 func loadGeneration(path string) (*generation, dims, error) {
 	magic, err := sniffMagic(path)
 	if err != nil {
@@ -436,12 +488,30 @@ func loadGeneration(path string) (*generation, dims, error) {
 			return nil, dims{}, err
 		}
 	}
-	return &generation{ix: ix, sum: sum, bytes: ix.MemoryFootprint()}, dims{
-		Pointers:   ix.NumPointers,
-		Objects:    ix.NumObjects,
-		Groups:     ix.NumGroups,
-		Rectangles: ix.Rectangles(),
-	}, nil
+	note := ""
+	var segs []*delta.Segment
+	if chain, cerr := delta.BuildChain(path, delta.HintOf(sum)); cerr != nil {
+		note = cerr.Error()
+	} else {
+		segs, note = chain.Segs, chain.Broken
+	}
+	vx, err := delta.NewVersioned(ix, segs...)
+	if err != nil {
+		// Strict replay rejected the chain (e.g. a segment re-adds a
+		// present fact). Serve the base alone and report why.
+		note = err.Error()
+		vx, err = delta.NewVersioned(ix)
+		if err != nil {
+			ix.Close()
+			return nil, dims{}, err
+		}
+	}
+	g := &generation{ix: ix, vx: vx, sum: sum}
+	if vx.Chain() > 0 {
+		g.ix = vx.Head()
+	}
+	g.bytes = g.ix.MemoryFootprint()
+	return g, genDims(g, note), nil
 }
 
 // sniffMagic reads the first four bytes of path. Short files sniff as
@@ -547,7 +617,10 @@ func (s *Store) refreshEntry(e *entry) error {
 		return fmt.Errorf("store: refreshing %q: %w", e.name, err)
 	}
 	if sha256.Sum256(raw) == old.sum {
-		return nil
+		// The base is unchanged; new delta segments next to it extend the
+		// served chain without re-decoding the base — the milliseconds
+		// path an incremental writer pays for one edit batch.
+		return s.extendEntry(e, old)
 	}
 	// Changed: load the new generation off to the side — decoding a PES1
 	// file, mapping a PES2 one — then install it with one pointer swap.
@@ -592,6 +665,63 @@ func (s *Store) refreshEntry(e *entry) error {
 	return nil
 }
 
+// extendEntry applies delta segments that appeared on disk past the stamp
+// entry e currently serves. The new generation shares the old one's
+// decoded base (refcounted inside Versioned), so readers pinned on the old
+// head keep answering from their generation while new queries see the
+// extended chain — the same swap discipline as a full hot-swap, minus the
+// base re-decode. The base bytes are charged under both generations until
+// the old one's last Release.
+func (s *Store) extendEntry(e *entry, old *generation) error {
+	chain, err := delta.BuildChain(e.path, delta.HintOf(old.sum))
+	if err != nil {
+		return nil // discovery glob failed; nothing to apply
+	}
+	head := old.stamp()
+	var fresh []*delta.Segment
+	for _, seg := range chain.Segs {
+		if seg.Gen > head {
+			fresh = append(fresh, seg)
+		}
+	}
+	if len(fresh) == 0 || fresh[0].Parent != head {
+		return nil
+	}
+	start := time.Now()
+	vx, err := old.vx.Extend(fresh...)
+	if err != nil {
+		s.mu.Lock()
+		e.loadErr = err.Error()
+		s.mu.Unlock()
+		return fmt.Errorf("store: applying deltas to %q: %w", e.name, err)
+	}
+	gen := &generation{ix: vx.Head(), vx: vx, sum: old.sum, bytes: vx.Head().MemoryFootprint()}
+	info := genDims(gen, chain.Broken)
+
+	s.mu.Lock()
+	if e.gen != old { // swapped or evicted while we applied; discard ours
+		s.mu.Unlock()
+		gen.free()
+		return nil
+	}
+	old.retired = true
+	if old.refs == 0 {
+		s.total -= old.bytes
+		old.free()
+	}
+	e.gen = gen
+	e.genSeq++
+	e.loadErr = ""
+	e.info = info
+	e.applies.Add(1)
+	e.applyLat.Observe(time.Since(start))
+	s.total += gen.bytes
+	s.lru.MoveToFront(e.elem)
+	s.evictLocked()
+	s.mu.Unlock()
+	return nil
+}
+
 // EntryInfo is the monitoring snapshot of one catalog entry.
 type EntryInfo struct {
 	Name       string `json:"name"`
@@ -610,13 +740,28 @@ type EntryInfo struct {
 	Groups     int `json:"groups"`
 	Rectangles int `json:"rectangles"`
 
-	Hits        int64                  `json:"hits"`
-	Misses      int64                  `json:"misses"`
-	Loads       int64                  `json:"loads"`
-	Evictions   int64                  `json:"evictions"`
-	Swaps       int64                  `json:"swaps"`
-	LoadLatency perf.HistogramSnapshot `json:"load_latency"`
-	LastError   string                 `json:"last_error,omitempty"`
+	// Delta-chain lineage: the generation stamp queries answer at, how
+	// many segments sit on the base, every snapshot stamp in order (only
+	// when the chain is non-empty), and why on-disk chain discovery
+	// stopped early, if it did.
+	Stamp      uint64   `json:"stamp"`
+	DeltaChain int      `json:"delta_chain"`
+	Lineage    []uint64 `json:"lineage,omitempty"`
+	ChainNote  string   `json:"chain_note,omitempty"`
+
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Loads     int64 `json:"loads"`
+	Evictions int64 `json:"evictions"`
+	Swaps     int64 `json:"swaps"`
+	// Applies counts Refresh passes that advanced this entry by applying
+	// delta segments in place of a full reload; ApplyLatency is how long
+	// those took, to be read against LoadLatency (the full decode/map
+	// cost) — the measured gap is the point of the delta path.
+	Applies      int64                  `json:"applies"`
+	LoadLatency  perf.HistogramSnapshot `json:"load_latency"`
+	ApplyLatency perf.HistogramSnapshot `json:"apply_latency"`
+	LastError    string                 `json:"last_error,omitempty"`
 }
 
 // Stats is the store-wide monitoring snapshot (the /debug/store payload).
@@ -630,6 +775,7 @@ type Stats struct {
 	Loads            int64       `json:"loads"`
 	Evictions        int64       `json:"evictions"`
 	Swaps            int64       `json:"swaps"`
+	Applies          int64       `json:"applies"`
 	LastRefreshError string      `json:"last_refresh_error,omitempty"`
 	Backends         []EntryInfo `json:"backends"`
 }
@@ -646,20 +792,26 @@ func (s *Store) Snapshot() Stats {
 	}
 	for _, e := range s.entries {
 		ei := EntryInfo{
-			Name:        e.name,
-			Path:        e.path,
-			Generation:  e.genSeq,
-			Pointers:    e.info.Pointers,
-			Objects:     e.info.Objects,
-			Groups:      e.info.Groups,
-			Rectangles:  e.info.Rectangles,
-			Hits:        e.hits.Load(),
-			Misses:      e.misses.Load(),
-			Loads:       e.loads.Load(),
-			Evictions:   e.evictions.Load(),
-			Swaps:       e.swaps.Load(),
-			LoadLatency: e.loadLat.Snapshot(),
-			LastError:   e.loadErr,
+			Name:         e.name,
+			Path:         e.path,
+			Generation:   e.genSeq,
+			Pointers:     e.info.Pointers,
+			Objects:      e.info.Objects,
+			Groups:       e.info.Groups,
+			Rectangles:   e.info.Rectangles,
+			Stamp:        e.info.Stamp,
+			DeltaChain:   e.info.Chain,
+			Lineage:      e.info.Lineage,
+			ChainNote:    e.info.ChainNote,
+			Hits:         e.hits.Load(),
+			Misses:       e.misses.Load(),
+			Loads:        e.loads.Load(),
+			Evictions:    e.evictions.Load(),
+			Swaps:        e.swaps.Load(),
+			Applies:      e.applies.Load(),
+			LoadLatency:  e.loadLat.Snapshot(),
+			ApplyLatency: e.applyLat.Snapshot(),
+			LastError:    e.loadErr,
 		}
 		if e.gen != nil {
 			ei.Loaded = true
@@ -674,6 +826,7 @@ func (s *Store) Snapshot() Stats {
 		out.Loads += ei.Loads
 		out.Evictions += ei.Evictions
 		out.Swaps += ei.Swaps
+		out.Applies += ei.Applies
 		out.Backends = append(out.Backends, ei)
 	}
 	sort.Slice(out.Backends, func(i, j int) bool { return out.Backends[i].Name < out.Backends[j].Name })

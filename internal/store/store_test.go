@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pestrie/internal/core"
+	"pestrie/internal/delta"
 	"pestrie/internal/matrix"
 )
 
@@ -43,11 +44,11 @@ func writePes(t *testing.T, path string, raw []byte) {
 }
 
 // sameAnswers checks a handful of queries against the reference index.
-func sameAnswers(t *testing.T, got, want *core.Index) {
+func sameAnswers(t *testing.T, got delta.Index, want *core.Index) {
 	t.Helper()
-	if got.NumPointers != want.NumPointers || got.NumObjects != want.NumObjects {
+	if got.Pointers() != want.NumPointers || got.Objects() != want.NumObjects {
 		t.Fatalf("dimensions diverged: got %d×%d, want %d×%d",
-			got.NumPointers, got.NumObjects, want.NumPointers, want.NumObjects)
+			got.Pointers(), got.Objects(), want.NumPointers, want.NumObjects)
 	}
 	for p := 0; p < want.NumPointers; p++ {
 		q := (p * 7) % want.NumPointers
@@ -148,7 +149,7 @@ func TestSingleflightDedupsConcurrentLoads(t *testing.T) {
 				return
 			}
 			defer h.Release()
-			if h.Index().NumPointers != ref.NumPointers {
+			if h.Index().Pointers() != ref.NumPointers {
 				t.Error("wrong index")
 			}
 		}()
@@ -371,7 +372,7 @@ func TestBackgroundReloader(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		np := h.Index().NumPointers
+		np := h.Index().Pointers()
 		h.Release()
 		if np == ref2.NumPointers {
 			break

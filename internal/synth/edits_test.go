@@ -1,0 +1,98 @@
+package synth
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"pestrie/internal/delta"
+)
+
+// run drives one edit stream for n steps and returns the encoded segments
+// plus the final matrix's fact count.
+func run(t *testing.T, cfg EditConfig, n int) ([][]byte, int) {
+	t.Helper()
+	pm := PresetByName("chart").Generate(0.001)
+	es := NewEditStream(pm, cfg)
+	var out [][]byte
+	for i := 0; i < n; i++ {
+		seg := es.Next()
+		if seg.Gen != uint64(i+1) || seg.Parent != uint64(i) {
+			t.Fatalf("step %d stamped gen %d on %d", i, seg.Gen, seg.Parent)
+		}
+		if seg.BaseHint != cfg.BaseHint {
+			t.Fatalf("step %d hint %#x, want %#x", i, seg.BaseHint, cfg.BaseHint)
+		}
+		var buf bytes.Buffer
+		if _, err := seg.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, buf.Bytes())
+	}
+	return out, es.Matrix().Edges()
+}
+
+// TestEditStreamDeterministic: same base, same config — byte-identical
+// segments; a different seed diverges.
+func TestEditStreamDeterministic(t *testing.T) {
+	cfg := EditConfig{Seed: 11, EditsPerStep: 24, GrowEvery: 2, BaseHint: 0xfeed}
+	a, countA := run(t, cfg, 4)
+	b, countB := run(t, cfg, 4)
+	if countA != countB || !reflect.DeepEqual(a, b) {
+		t.Fatal("replaying the same seed produced different segments")
+	}
+	cfg.Seed = 12
+	c, _ := run(t, cfg, 4)
+	same := true
+	for i := range c {
+		if !bytes.Equal(a[i], c[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("a different seed reproduced the same stream")
+	}
+}
+
+// TestEditStreamReplays: decoding the emitted segments and replaying them
+// over the base lands exactly on the stream's final matrix.
+func TestEditStreamReplays(t *testing.T) {
+	pm := PresetByName("sunflow").Generate(0.001)
+	es := NewEditStream(pm, EditConfig{Seed: 5, EditsPerStep: 16, GrowEvery: 3})
+	replay := pm.Clone()
+	for i := 0; i < 5; i++ {
+		var buf bytes.Buffer
+		if _, err := es.Next().WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		seg, err := delta.DecodeSegment(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay = replay.Grown(seg.NumPointers, seg.NumObjects)
+		for _, r := range seg.Runs {
+			for _, o := range r.Del {
+				replay.Remove(int(r.Ptr), int(o))
+			}
+			for _, o := range r.Add {
+				replay.Add(int(r.Ptr), int(o))
+			}
+		}
+	}
+	if !replay.Equal(es.Matrix()) {
+		t.Fatal("replaying the stream's segments diverged from its matrix")
+	}
+}
+
+// TestEditStreamFixedDims: GrowEvery 0 pins the dimensions, as ptalint's
+// incremental mode requires.
+func TestEditStreamFixedDims(t *testing.T) {
+	pm := PresetByName("fop").Generate(0.001)
+	es := NewEditStream(pm, EditConfig{Seed: 3, EditsPerStep: 8})
+	for i := 0; i < 4; i++ {
+		seg := es.Next()
+		if seg.NumPointers != pm.NumPointers || seg.NumObjects != pm.NumObjects {
+			t.Fatalf("step %d grew to %d×%d without GrowEvery", i, seg.NumPointers, seg.NumObjects)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"pestrie/internal/clients"
 	"pestrie/internal/compose"
 	"pestrie/internal/core"
+	"pestrie/internal/delta"
 	"pestrie/internal/demand"
 	"pestrie/internal/flow"
 	"pestrie/internal/ir"
@@ -327,6 +328,56 @@ type StoreHandle = store.Handle
 
 // NewStore returns an empty store; populate the catalog with Add/AddDir.
 func NewStore(opts StoreOptions) *Store { return store.New(opts) }
+
+// --- incremental, versioned indexes (cmd/pestrie delta / compact) -------
+
+// DeltaSegment is one on-disk edit batch (.pesd, FORMATS.md §PESD1): the
+// added and removed points-to facts between two generations of a base
+// index, stamped with monotonically increasing generation numbers.
+type DeltaSegment = delta.Segment
+
+// VersionedIndex layers a base index and a delta-segment chain into a set
+// of immutable snapshots, one per generation. Snapshots never change once
+// taken: concurrent readers pinned to a generation keep its answers while
+// the chain extends. Close releases the base (munmap for mapped PES2
+// files) once every snapshot holder is done.
+type VersionedIndex = delta.Versioned
+
+// IndexSnapshot answers the Table-1 queries at one pinned generation.
+type IndexSnapshot = delta.Snapshot
+
+// SegmentChain is the result of discovering the delta chain next to a base
+// file: the valid segments in generation order and, when discovery stopped
+// early, why.
+type SegmentChain = delta.Chain
+
+// DiffMatrices computes the delta segment that turns `from` into `to`
+// (nil when they are equal); stamp Gen/Parent/BaseHint before persisting
+// with WriteSegmentFile. Dimensions may only grow.
+func DiffMatrices(from, to *Matrix) (*DeltaSegment, error) { return delta.Diff(from, to) }
+
+// OpenVersioned opens a base .pes/.pes2 file plus whatever valid delta
+// chain sits next to it (<stem>.dNNNNNN.pesd). A broken chain never fails
+// the open: the valid prefix is served and Chain.Broken says why discovery
+// stopped.
+func OpenVersioned(basePath string) (*VersionedIndex, *SegmentChain, error) {
+	return delta.Open(basePath)
+}
+
+// WriteSegmentFile persists one stamped segment at path (conventionally
+// SegmentPath(base, seg.Gen)).
+func WriteSegmentFile(path string, seg *DeltaSegment) error {
+	return delta.WriteSegmentFile(path, seg)
+}
+
+// SegmentPath names the chain file for a generation next to a base path.
+func SegmentPath(basePath string, gen uint64) string { return delta.SegmentPath(basePath, gen) }
+
+// CompactChain folds base + chain at generation gen into a fresh Trie,
+// byte-identical to building from scratch at that generation.
+func CompactChain(base *Index, segs []*DeltaSegment, gen uint64, opts *BuildOptions) (*Trie, error) {
+	return delta.Compact(base, segs, gen, opts)
+}
 
 // --- workloads ---------------------------------------------------------
 
