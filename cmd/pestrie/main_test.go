@@ -362,3 +362,66 @@ func TestParseMix(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedTierEndToEnd builds the serve -shards plumbing directly: a
+// 3-shard tier over one encoded file must answer exactly like a single
+// eager server, and its coordinator must expose /debug/coord.
+func TestShardedTierEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	ptm := writeTestMatrix(t, dir)
+	pes := filepath.Join(dir, "m.pes")
+	if err := encode([]string{"-in", ptm, "-out", pes}); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	servers, _, cleanup, err := buildServers(3, pes, "", server.Options{}, store.Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	tier, err := startShards(servers, server.CoordOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.cleanup()
+	cts := httptest.NewServer(tier.coord.Handler())
+	defer cts.Close()
+
+	single, err := newQueryServer(pes, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts := httptest.NewServer(single.Handler())
+	defer sts.Close()
+
+	body := `{"queries":[{"op":"aliases","p":0},{"op":"pointsto","p":2},{"op":"isalias","p":0,"q":1},{"op":"pointedby","o":1}]}`
+	fetch := func(url string) string {
+		t.Helper()
+		resp, err := http.Post(url+"/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", url, resp.StatusCode, raw)
+		}
+		return string(raw)
+	}
+	want := fetch(sts.URL)
+	if got := fetch(cts.URL); got != want {
+		t.Fatalf("tier answer diverges:\nwant %s\ngot  %s", want, got)
+	}
+
+	resp, err := http.Get(cts.URL + "/debug/coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/coord status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,252 @@
+package exper
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+
+	"pestrie/internal/core"
+	"pestrie/internal/server"
+)
+
+// Fixed shape of the serving experiment: a small tier with a zipfian
+// multi-tenant stream, sized so the full preset matrix stays a smoke-scale
+// run rather than a soak.
+const (
+	serveShards    = 3
+	serveTenants   = 3
+	serveZipfS     = 1.2
+	serveRequests  = 48
+	serveBatchSize = 128
+	serveConc      = 4
+	serveIdentReqs = 8 // batches byte-compared coordinator vs single process
+)
+
+// ServeBenchRow measures the coordinator tier against one preset: answer
+// byte-identity with a single-process server, answer-cache hit ratio under
+// a zipfian multi-tenant stream, shard balance, and tail latency.
+// Serialized to BENCH_serve.json.
+type ServeBenchRow struct {
+	Name     string  `json:"name"`
+	Scale    float64 `json:"scale"`
+	Shards   int     `json:"shards"`
+	Tenants  int     `json:"tenants"`
+	Requests int     `json:"requests"`
+	Queries  int     `json:"queries"`
+
+	// Identical is the CI-gated contract: every compared batch response
+	// from the coordinator was byte-for-byte the single-process response.
+	Identical bool `json:"identical"`
+
+	CacheHitRatio     float64 `json:"cache_hit_ratio"`
+	CacheEntries      int     `json:"cache_entries"`
+	BatchDedup        int64   `json:"batch_dedup"`
+	SingleflightWaits int64   `json:"singleflight_waits"`
+
+	// ShardQueries is the post-dedup fan-out per shard; ShardBalance is
+	// max/mean over it (1.0 = perfectly even hash partition).
+	ShardQueries []int64 `json:"shard_queries"`
+	ShardBalance float64 `json:"shard_balance"`
+
+	P50NS         int64   `json:"p50_ns"`
+	P99NS         int64   `json:"p99_ns"`
+	MeanNS        int64   `json:"mean_ns"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+}
+
+// ServeBench runs the coordinator-tier experiment over every preset. Each
+// preset's index is served both by a single process and by a
+// shard-partitioned tier; the tier must answer byte-identically, and then
+// absorb a zipfian multi-tenant stream through its answer cache.
+func ServeBench(opts *Options) []ServeBenchRow {
+	var rows []ServeBenchRow
+	for _, w := range buildWorkloads(opts) {
+		rows = append(rows, serveBenchOne(w))
+	}
+	return rows
+}
+
+// listenOn starts handler on a loopback listener and returns its base URL
+// plus a closer.
+func listenOn(handler http.Handler) (string, func(), error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: handler}
+	go hs.Serve(l)
+	url := "http://" + l.Addr().String()
+	return url, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}, nil
+}
+
+// postRaw POSTs body and returns the raw response bytes — raw, because the
+// identity check compares the wire bytes, not a re-marshalled decoding.
+func postRaw(url string, body []byte) ([]byte, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func serveBenchOne(w workload) ServeBenchRow {
+	row := ServeBenchRow{
+		Name:     w.preset.Name,
+		Scale:    w.scale,
+		Shards:   serveShards,
+		Tenants:  serveTenants,
+		Requests: serveRequests,
+		Queries:  serveRequests * serveBatchSize,
+	}
+	ix := core.Build(w.pm, nil).Index()
+	tenants := make([]string, serveTenants)
+	for i := range tenants {
+		tenants[i] = fmt.Sprintf("t%d", i)
+	}
+
+	// One single-process reference server and a tier of shard servers, all
+	// registering the same immutable index under every tenant name.
+	single := server.New(server.Options{})
+	shards := make([]*server.Server, serveShards)
+	for i := range shards {
+		shards[i] = server.New(server.Options{})
+	}
+	for _, name := range tenants {
+		if err := single.AddIndex(name, ix); err != nil {
+			panic(err)
+		}
+		for _, s := range shards {
+			if err := s.AddIndex(name, ix); err != nil {
+				panic(err)
+			}
+		}
+	}
+	singleURL, closeSingle, err := listenOn(single.Handler())
+	if err != nil {
+		panic(err)
+	}
+	defer closeSingle()
+	var shardURLs []string
+	for _, s := range shards {
+		u, closer, err := listenOn(s.Handler())
+		if err != nil {
+			panic(err)
+		}
+		defer closer()
+		shardURLs = append(shardURLs, u)
+	}
+	coord, err := server.NewCoordinator(server.CoordOptions{Shards: shardURLs})
+	if err != nil {
+		panic(err)
+	}
+	coordURL, closeCoord, err := listenOn(coord.Handler())
+	if err != nil {
+		panic(err)
+	}
+	defer closeCoord()
+
+	// Byte-identity gate: the same deterministic batches through both
+	// paths must produce identical response bodies. Run them twice through
+	// the coordinator so the second pass answers from the cache — a cached
+	// answer must be just as identical as a computed one.
+	bopts := server.BenchOptions{
+		Backends:   tenants,
+		Base:       w.base,
+		NumObjects: w.pm.NumObjects,
+		BatchSize:  serveBatchSize,
+		Seed:       1,
+		Mix:        server.DefaultMix,
+		ZipfS:      serveZipfS,
+	}
+	row.Identical = true
+	for pass := 0; pass < 2 && row.Identical; pass++ {
+		for i := 0; i < serveIdentReqs && row.Identical; i++ {
+			rng := rand.New(rand.NewSource(server.BatchSeed(1, i)))
+			req, err := server.MarshalBatchRequest(tenants[i%len(tenants)], server.GenQueries(rng, &bopts))
+			if err != nil {
+				panic(err)
+			}
+			want, err := postRaw(singleURL+"/batch", req)
+			if err != nil {
+				panic(err)
+			}
+			got, err := postRaw(coordURL+"/batch", req)
+			if err != nil {
+				panic(err)
+			}
+			row.Identical = bytes.Equal(want, got)
+		}
+	}
+	if !row.Identical {
+		panic(fmt.Sprintf("%s: coordinator response diverged from single-process response", w.preset.Name))
+	}
+
+	// The measured zipfian multi-tenant run, against the coordinator only.
+	bopts.URL = coordURL
+	bopts.Requests = serveRequests
+	bopts.Concurrency = serveConc
+	report, err := server.RunBench(context.Background(), bopts)
+	if err != nil {
+		panic(err)
+	}
+	row.P50NS = report.Latency.P50NS
+	row.P99NS = report.Latency.P99NS
+	row.MeanNS = report.Latency.MeanNS
+	row.ThroughputQPS = report.Throughput()
+
+	st := coord.Stats()
+	row.CacheHitRatio = st.Cache.HitRatio
+	row.CacheEntries = st.Cache.Entries
+	row.BatchDedup = st.BatchDedup
+	row.SingleflightWaits = st.SingleflightWaits
+	var total, max int64
+	for _, sh := range st.Shards {
+		row.ShardQueries = append(row.ShardQueries, sh.Queries)
+		total += sh.Queries
+		if sh.Queries > max {
+			max = sh.Queries
+		}
+	}
+	if total > 0 {
+		row.ShardBalance = float64(max) * float64(len(st.Shards)) / float64(total)
+	}
+	return row
+}
+
+// RenderServeBench renders ServeBench rows as text.
+func RenderServeBench(rows []ServeBenchRow) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "Serve bench: %d-shard coordinator, %d tenants, zipf %.1f stream\n",
+		serveShards, serveTenants, serveZipfS)
+	fmt.Fprintf(&b, "%-12s %8s | %7s %9s %8s | %7s | %9s %9s %10s | %s\n",
+		"program", "queries", "hit%", "dedup", "sf-joins", "balance", "p50", "p99", "qps", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8d | %6.1f%% %9d %8d | %6.2f× | %9s %9s %10.0f | %v\n",
+			r.Name, r.Queries, 100*r.CacheHitRatio, r.BatchDedup, r.SingleflightWaits,
+			r.ShardBalance,
+			time.Duration(r.P50NS), time.Duration(r.P99NS), r.ThroughputQPS, r.Identical)
+	}
+	return b.String()
+}
+
+// WriteServeBenchJSON writes ServeBench rows as indented JSON.
+func WriteServeBenchJSON(w io.Writer, rows []ServeBenchRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

@@ -1,0 +1,54 @@
+package exper
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestServeBench runs the coordinator-tier experiment at a tiny scale:
+// ServeBench itself panics if any batch response diverges from the
+// single-process server, so a passing run IS the byte-identity gate for
+// the presets it covers (CI runs it over the full matrix through
+// benchtables).
+func TestServeBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stands up real HTTP tiers")
+	}
+	rows := ServeBench(&Options{Presets: []string{"antlr", "fop"}, Scale: 0.005})
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Fatalf("%s: coordinator answers not byte-identical", r.Name)
+		}
+		if r.CacheHitRatio <= 0 {
+			t.Fatalf("%s: zipfian stream produced no cache hits: %+v", r.Name, r)
+		}
+		if len(r.ShardQueries) != serveShards || r.ShardBalance < 1 {
+			t.Fatalf("%s: bad shard accounting: %+v", r.Name, r)
+		}
+		if r.ThroughputQPS <= 0 || r.P99NS <= 0 {
+			t.Fatalf("%s: missing measurements: %+v", r.Name, r)
+		}
+	}
+
+	text := RenderServeBench(rows)
+	if !strings.Contains(text, "antlr") || !strings.Contains(text, "identical") {
+		t.Fatalf("render missing fields:\n%s", text)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteServeBenchJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var back []ServeBenchRow
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || !back[0].Identical || back[0].Name != rows[0].Name {
+		t.Fatalf("JSON round-trip mismatch: %+v", back)
+	}
+}

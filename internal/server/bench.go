@@ -38,6 +38,11 @@ type BenchOptions struct {
 	URL     string // server base URL, e.g. http://localhost:7171
 	Backend string // backend name; empty for a single-backend server
 
+	// Backends, when non-empty, makes the run multi-tenant: each batch is
+	// addressed to Backends[i % len] (deterministic in the batch index),
+	// overriding Backend.
+	Backends []string
+
 	Base       []int // base-pointer query population (synth.BasePointers)
 	NumObjects int   // object ID space for pointedby queries
 
@@ -46,6 +51,48 @@ type BenchOptions struct {
 	Concurrency int   // in-flight requests (default 8)
 	Seed        int64 // RNG seed for the query stream (default 1)
 	Mix         Mix   // zero value selects DefaultMix
+
+	// ZipfS, when > 1, skews argument selection with a zipfian
+	// distribution of that exponent instead of uniform picks, so a small
+	// hot set dominates the stream — the shape real clients show and the
+	// one answer caches exist for. 0 keeps the uniform stream.
+	ZipfS float64
+}
+
+// splitmix64 is the SplitMix64 finalizer: a full-avalanche mix so that
+// consecutive batch indices yield statistically independent seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// batchSeed derives the RNG seed for batch i of a run. It depends only on
+// (seed, i) — never on which worker sends the batch or in what order — so
+// the query stream is identical at any concurrency level.
+func batchSeed(seed int64, i int) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)) ^ uint64(i)))
+}
+
+// BatchSeed exposes batchSeed for harnesses that must reproduce the exact
+// stream RunBench would send (the exper identity gate, golden tests).
+func BatchSeed(seed int64, i int) int64 { return batchSeed(seed, i) }
+
+// GenQueries exposes genQueries for the same harnesses.
+func GenQueries(rng *rand.Rand, opts *BenchOptions) []Query { return genQueries(rng, opts) }
+
+// MarshalBatchRequest renders a /batch request body.
+func MarshalBatchRequest(backend string, queries []Query) ([]byte, error) {
+	return json.Marshal(batchRequest{Backend: backend, Queries: queries})
+}
+
+// batchBackend returns the tenant batch i is addressed to.
+func batchBackend(opts *BenchOptions, i int) string {
+	if len(opts.Backends) > 0 {
+		return opts.Backends[i%len(opts.Backends)]
+	}
+	return opts.Backend
 }
 
 // BenchReport summarizes one load-generation run.
@@ -53,6 +100,7 @@ type BenchReport struct {
 	Requests    int
 	Queries     int
 	QueryErrors int           // per-query error results
+	Unanswered  int           // queries truncated by server-side deadlines
 	Failed      int           // whole requests that failed
 	Duration    time.Duration // wall clock across all workers
 	Latency     perf.HistogramSnapshot
@@ -68,31 +116,43 @@ func (r BenchReport) Throughput() float64 {
 
 func (r BenchReport) String() string {
 	return fmt.Sprintf(
-		"%d requests (%d queries, %d query errors, %d failed requests) in %s\n"+
+		"%d requests (%d queries, %d query errors, %d unanswered, %d failed requests) in %s\n"+
 			"throughput: %.0f queries/s\n"+
 			"batch latency: p50=%s p90=%s p99=%s mean=%s",
-		r.Requests, r.Queries, r.QueryErrors, r.Failed, r.Duration.Round(time.Millisecond),
+		r.Requests, r.Queries, r.QueryErrors, r.Unanswered, r.Failed, r.Duration.Round(time.Millisecond),
 		r.Throughput(),
 		time.Duration(r.Latency.P50NS), time.Duration(r.Latency.P90NS),
 		time.Duration(r.Latency.P99NS), time.Duration(r.Latency.MeanNS))
 }
 
 // genQueries produces one deterministic batch of queries from the mix.
+// With ZipfS > 1 the argument picks follow a zipfian rank distribution
+// over the populations, so low ranks repeat heavily across batches.
 func genQueries(rng *rand.Rand, opts *BenchOptions) []Query {
 	out := make([]Query, opts.BatchSize)
 	total := opts.Mix.total()
+	baseIdx := func() int { return rng.Intn(len(opts.Base)) }
+	objIdx := func() int { return rng.Intn(opts.NumObjects) }
+	if opts.ZipfS > 1 {
+		zb := rand.NewZipf(rng, opts.ZipfS, 1, uint64(len(opts.Base)-1))
+		baseIdx = func() int { return int(zb.Uint64()) }
+		if opts.NumObjects > 0 {
+			zo := rand.NewZipf(rng, opts.ZipfS, 1, uint64(opts.NumObjects-1))
+			objIdx = func() int { return int(zo.Uint64()) }
+		}
+	}
 	pick := func(p int) *int { v := opts.Base[p%len(opts.Base)]; return &v }
 	for i := range out {
 		r := rng.Intn(total)
 		switch {
 		case r < opts.Mix.IsAlias:
-			out[i] = Query{Op: "isalias", P: pick(rng.Intn(len(opts.Base))), Q: pick(rng.Intn(len(opts.Base)))}
+			out[i] = Query{Op: "isalias", P: pick(baseIdx()), Q: pick(baseIdx())}
 		case r < opts.Mix.IsAlias+opts.Mix.Aliases:
-			out[i] = Query{Op: "aliases", P: pick(rng.Intn(len(opts.Base)))}
+			out[i] = Query{Op: "aliases", P: pick(baseIdx())}
 		case r < opts.Mix.IsAlias+opts.Mix.Aliases+opts.Mix.PointsTo:
-			out[i] = Query{Op: "pointsto", P: pick(rng.Intn(len(opts.Base)))}
+			out[i] = Query{Op: "pointsto", P: pick(baseIdx())}
 		default:
-			o := rng.Intn(opts.NumObjects)
+			o := objIdx()
 			out[i] = Query{Op: "pointedby", O: &o}
 		}
 	}
@@ -134,6 +194,7 @@ func RunBench(ctx context.Context, opts BenchOptions) (*BenchReport, error) {
 	var (
 		lat         perf.Histogram
 		queryErrs   atomic.Int64
+		unanswered  atomic.Int64
 		failed      atomic.Int64
 		nextBatch   atomic.Int64
 		firstErr    error
@@ -158,9 +219,9 @@ func RunBench(ctx context.Context, opts BenchOptions) (*BenchReport, error) {
 				if i >= opts.Requests || ctx.Err() != nil {
 					return
 				}
-				rng := rand.New(rand.NewSource(opts.Seed + int64(i)))
+				rng := rand.New(rand.NewSource(batchSeed(opts.Seed, i)))
 				queries := genQueries(rng, &opts)
-				body, err := json.Marshal(batchRequest{Backend: opts.Backend, Queries: queries})
+				body, err := json.Marshal(batchRequest{Backend: batchBackend(&opts, i), Queries: queries})
 				if err != nil {
 					recordFatal(err)
 					continue
@@ -172,6 +233,7 @@ func RunBench(ctx context.Context, opts BenchOptions) (*BenchReport, error) {
 					continue
 				}
 				lat.Observe(time.Since(t0))
+				unanswered.Add(int64(resp.Unanswered))
 				for _, res := range resp.Results {
 					if res.Err != "" {
 						queryErrs.Add(1)
@@ -185,6 +247,7 @@ func RunBench(ctx context.Context, opts BenchOptions) (*BenchReport, error) {
 		Requests:    opts.Requests,
 		Queries:     opts.Requests * opts.BatchSize,
 		QueryErrors: int(queryErrs.Load()),
+		Unanswered:  int(unanswered.Load()),
 		Failed:      int(failed.Load()),
 		Duration:    time.Since(start),
 		Latency:     lat.Snapshot(),
@@ -218,6 +281,34 @@ func FetchStoreStats(ctx context.Context, baseURL string) (*store.Stats, error) 
 		return nil, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
 	var out store.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FetchCoordStats retrieves the /debug/coord snapshot from a running
+// coordinator: cache hit ratio, per-shard balance, dedup counters. It
+// returns (nil, nil) when the target is a plain single-process server —
+// those answer 404 there — so callers can report opportunistically.
+func FetchCoordStats(ctx context.Context, baseURL string) (*CoordStats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/debug/coord", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var out CoordStats
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, err
 	}

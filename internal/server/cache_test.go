@@ -1,0 +1,112 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func TestQueryKey(t *testing.T) {
+	cases := []struct {
+		backend, gen string
+		q            Query
+		want         string
+	}{
+		{"app", "g1", Query{Op: "isalias", P: intp(3), Q: intp(7)}, "app|g1|isalias|3|7|"},
+		{"app", "g1", Query{Op: "aliases", P: intp(3)}, "app|g1|aliases|3||"},
+		{"", "g2", Query{Op: "pointedby", O: intp(0)}, "|g2|pointedby|||0"},
+		{"app", "", Query{Op: "pointsto"}, "app||pointsto|||"},
+	}
+	for _, c := range cases {
+		if got := queryKey(c.backend, c.gen, c.q); got != c.want {
+			t.Errorf("queryKey(%q,%q,%+v) = %q, want %q", c.backend, c.gen, c.q, got, c.want)
+		}
+	}
+	// Distinct argument positions must never collide.
+	a := queryKey("b", "g", Query{Op: "isalias", P: intp(12), Q: intp(3)})
+	b := queryKey("b", "g", Query{Op: "isalias", P: intp(1), Q: intp(23)})
+	if a == b {
+		t.Fatalf("key collision: %q", a)
+	}
+}
+
+func TestAnswerCacheLRU(t *testing.T) {
+	res := func(s string) Result { return Result{IDs: json.RawMessage(s)} }
+	// Budget sized to hold roughly 4 entries (each ≈ 96 + small strings).
+	c := newAnswerCache(4 * 110)
+	for i := 0; i < 4; i++ {
+		c.put(fmt.Sprintf("k%d", i), res("[1]"))
+	}
+	if st := c.stats(); st.Entries != 4 || st.Evictions != 0 {
+		t.Fatalf("after 4 puts: %+v", st)
+	}
+	// Touch k0 so k1 is the LRU victim when k4 arrives.
+	if _, ok := c.get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.put("k4", res("[1]"))
+	if _, ok := c.get("k1"); ok {
+		t.Fatal("k1 survived eviction despite being LRU")
+	}
+	if _, ok := c.get("k0"); !ok {
+		t.Fatal("recently-used k0 was evicted")
+	}
+	st := c.stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions recorded: %+v", st)
+	}
+	if st.Bytes > st.Budget {
+		t.Fatalf("cache over budget: %+v", st)
+	}
+
+	// A duplicate put must not double-count bytes.
+	before := c.stats().Bytes
+	c.put("k0", res("[1]"))
+	if after := c.stats().Bytes; after != before {
+		t.Fatalf("duplicate put changed bytes %d -> %d", before, after)
+	}
+
+	// An entry bigger than the whole budget is refused outright.
+	big := make([]byte, 4*110+1)
+	c.put("huge", Result{IDs: big})
+	if _, ok := c.get("huge"); ok {
+		t.Fatal("oversized entry was admitted")
+	}
+}
+
+func TestAnswerCacheDisabled(t *testing.T) {
+	for _, budget := range []int64{0, -1} {
+		c := newAnswerCache(budget)
+		c.put("k", Result{IDs: json.RawMessage("[1]")})
+		if _, ok := c.get("k"); ok {
+			t.Fatalf("budget %d: disabled cache served a hit", budget)
+		}
+		if st := c.stats(); st.Entries != 0 || st.Puts != 0 {
+			t.Fatalf("budget %d: disabled cache has state: %+v", budget, st)
+		}
+	}
+}
+
+func TestAnswerCacheConcurrent(t *testing.T) {
+	c := newAnswerCache(1 << 16)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("k%d", (w*31+i)%64)
+				if i%3 == 0 {
+					c.put(k, Result{IDs: json.RawMessage("[2,3]")})
+				} else {
+					c.get(k)
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	if st := c.stats(); st.Bytes > st.Budget {
+		t.Fatalf("over budget after concurrent churn: %+v", st)
+	}
+}

@@ -1,0 +1,426 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"pestrie/internal/core"
+	"pestrie/internal/store"
+)
+
+// startTestTier stands up n shard servers (each registering every index in
+// backends) behind a coordinator, all on httptest listeners.
+func startTestTier(t *testing.T, n int, backends map[string]*core.Index, copts CoordOptions) (*Coordinator, *httptest.Server, []*httptest.Server) {
+	t.Helper()
+	var shardTS []*httptest.Server
+	for i := 0; i < n; i++ {
+		s := New(Options{})
+		for name, ix := range backends {
+			if err := s.AddIndex(name, ix); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		shardTS = append(shardTS, ts)
+		copts.Shards = append(copts.Shards, ts.URL)
+	}
+	coord, err := NewCoordinator(copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(coord.Handler())
+	t.Cleanup(cts.Close)
+	return coord, cts, shardTS
+}
+
+// postRawBody POSTs and returns status plus the raw response bytes.
+func postRawBody(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// TestCoordinatorByteIdentity is the tier's contract: for the same
+// generation, the coordinator's /batch response must be byte-identical to
+// a single-process server's — across every op, including per-query errors,
+// and no less so when the second pass answers from the cache.
+func TestCoordinatorByteIdentity(t *testing.T) {
+	ix := testIndex(t, testPM(7, 150, 40, 900))
+	backends := map[string]*core.Index{"default": ix}
+
+	single := New(Options{})
+	if err := single.AddIndex("default", ix); err != nil {
+		t.Fatal(err)
+	}
+	singleTS := httptest.NewServer(single.Handler())
+	defer singleTS.Close()
+	_, coordTS, _ := startTestTier(t, 3, backends, CoordOptions{})
+
+	var queries []Query
+	for p := 0; p < 40; p++ {
+		queries = append(queries,
+			Query{Op: "isalias", P: intp(p), Q: intp((p * 7) % 150)},
+			Query{Op: "aliases", P: intp(p * 3)},
+			Query{Op: "pointsto", P: intp(p)},
+			Query{Op: "pointedby", O: intp(p % 40)},
+		)
+	}
+	// Error answers must round-trip identically too.
+	queries = append(queries,
+		Query{Op: "pointsto", P: intp(ix.NumPointers + 3)},
+		Query{Op: "nosuch"},
+		Query{Op: "isalias", P: intp(1)},
+	)
+	body, err := json.Marshal(batchRequest{Queries: queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus, want := postRawBody(t, singleTS.URL+"/batch", body)
+	if wantStatus != http.StatusOK {
+		t.Fatalf("single-process status %d: %s", wantStatus, want)
+	}
+	for pass := 0; pass < 2; pass++ {
+		gotStatus, got := postRawBody(t, coordTS.URL+"/batch", body)
+		if gotStatus != http.StatusOK {
+			t.Fatalf("pass %d: coordinator status %d: %s", pass, gotStatus, got)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("pass %d: coordinator response diverges\nwant %s\ngot  %s", pass, want, got)
+		}
+	}
+}
+
+// TestCoordinatorDedupAndCache pins the three deduplication levels with a
+// deterministic stream: duplicate queries inside one batch collapse to one
+// shard query, and a repeated batch answers from the cache without any
+// shard traffic.
+func TestCoordinatorDedupAndCache(t *testing.T) {
+	ix := testIndex(t, testPM(9, 100, 25, 500))
+	coord, coordTS, _ := startTestTier(t, 2, map[string]*core.Index{"default": ix}, CoordOptions{})
+
+	q := Query{Op: "aliases", P: intp(4)}
+	batch := []Query{q, q, q, {Op: "pointsto", P: intp(8)}}
+	body, err := json.Marshal(batchRequest{Queries: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, raw := postRawBody(t, coordTS.URL+"/batch", body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	st := coord.Stats()
+	if st.BatchDedup != 2 {
+		t.Fatalf("batch dedup = %d, want 2 (three copies of one query)", st.BatchDedup)
+	}
+	var sent int64
+	for _, sh := range st.Shards {
+		sent += sh.Queries
+	}
+	if sent != 2 {
+		t.Fatalf("shards saw %d queries, want 2 unique", sent)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(raw, &br); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 3; i++ {
+		if !bytes.Equal(br.Results[0].IDs, br.Results[i].IDs) {
+			t.Fatalf("collapsed duplicates diverge: %s vs %s", br.Results[0].IDs, br.Results[i].IDs)
+		}
+	}
+
+	// Same batch again: all unique keys are cached now, no new shard
+	// queries, and the cache counters move.
+	status, raw2 := postRawBody(t, coordTS.URL+"/batch", body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw2)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Fatalf("cached pass diverges:\n%s\n%s", raw, raw2)
+	}
+	st = coord.Stats()
+	if st.Cache.Hits == 0 || st.Cache.Puts != 2 {
+		t.Fatalf("cache stats after repeat: %+v", st.Cache)
+	}
+	var sent2 int64
+	for _, sh := range st.Shards {
+		sent2 += sh.Queries
+	}
+	if sent2 != sent {
+		t.Fatalf("cached pass still sent shard queries: %d -> %d", sent, sent2)
+	}
+}
+
+// TestCoordinatorSingleflight overlaps two identical requests against a
+// deliberately slow shard with the cache disabled: exactly one may reach
+// the shard, the other joins its flight.
+func TestCoordinatorSingleflight(t *testing.T) {
+	ix := testIndex(t, testPM(11, 60, 15, 250))
+	s := New(Options{})
+	if err := s.AddIndex("default", ix); err != nil {
+		t.Fatal(err)
+	}
+	var hitCount int
+	var mu sync.Mutex
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/batch" {
+			mu.Lock()
+			hitCount++
+			mu.Unlock()
+			time.Sleep(300 * time.Millisecond)
+		}
+		s.Handler().ServeHTTP(w, r)
+	}))
+	defer slow.Close()
+	coord, err := NewCoordinator(CoordOptions{Shards: []string{slow.URL}, CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+
+	body, err := json.Marshal(batchRequest{Queries: []Query{{Op: "aliases", P: intp(2)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	responses := make([][]byte, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i == 1 {
+				time.Sleep(50 * time.Millisecond) // let request 0 own the flight
+			}
+			status, raw := postRawBody(t, cts.URL+"/batch", body)
+			if status != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, status, raw)
+			}
+			responses[i] = raw
+		}(i)
+	}
+	wg.Wait()
+	mu.Lock()
+	hits := hitCount
+	mu.Unlock()
+	if hits != 1 {
+		t.Fatalf("shard answered %d batch requests, want 1 (singleflight)", hits)
+	}
+	if !bytes.Equal(responses[0], responses[1]) {
+		t.Fatalf("flight owner and waiter diverge:\n%s\n%s", responses[0], responses[1])
+	}
+	if st := coord.Stats(); st.SingleflightWaits != 1 {
+		t.Fatalf("singleflight waits = %d, want 1", st.SingleflightWaits)
+	}
+}
+
+// TestCoordinatorPartialFailure kills one shard of two: the batch still
+// answers 200, the dead shard's slice carries explicit per-result errors
+// plus a ShardError report, and the surviving shard's answers are intact.
+func TestCoordinatorPartialFailure(t *testing.T) {
+	ix := testIndex(t, testPM(13, 120, 30, 600))
+	coord, coordTS, shardTS := startTestTier(t, 2, map[string]*core.Index{"default": ix}, CoordOptions{
+		ShardTimeout: 2 * time.Second,
+	})
+	shardTS[1].Close()
+
+	var queries []Query
+	for p := 0; p < 60; p++ {
+		queries = append(queries, Query{Op: "pointsto", P: intp(p)})
+	}
+	body, err := json.Marshal(batchRequest{Queries: queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, raw := postRawBody(t, coordTS.URL+"/batch", body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, want 200 with partial report: %s", status, raw)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(raw, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Partial) != 1 || br.Partial[0].Shard != 1 {
+		t.Fatalf("partial = %+v, want one report for shard 1", br.Partial)
+	}
+	if br.Generation != "" {
+		t.Fatalf("generation %q on a partial response; identity cannot be claimed", br.Generation)
+	}
+	failed, answered := 0, 0
+	for i, r := range br.Results {
+		switch {
+		case r.IDs != nil:
+			answered++
+			if want := directIDs(t, ix.ListPointsTo(i)); string(r.IDs) != want {
+				t.Fatalf("pointsto(%d) = %s, want %s", i, r.IDs, want)
+			}
+		case r.Err != "":
+			failed++
+		default:
+			t.Fatalf("result %d is a silent zero value: %+v", i, r)
+		}
+	}
+	if failed != br.Partial[0].Queries || failed == 0 || answered == 0 {
+		t.Fatalf("failed=%d answered=%d, partial says %d", failed, answered, br.Partial[0].Queries)
+	}
+	if st := coord.Stats(); st.Shards[1].Errors == 0 {
+		t.Fatalf("dead shard error counter never moved: %+v", st.Shards)
+	}
+
+	// Single-query path: a shard failure is a 502, not a client error.
+	for p := 0; p < 120; p++ {
+		qb, err := json.Marshal(queryRequest{Query: Query{Op: "pointsto", P: intp(p)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, _ := postRawBody(t, coordTS.URL+"/query", qb)
+		if status == http.StatusBadGateway {
+			return // found a query routed to the dead shard
+		}
+		if status != http.StatusOK {
+			t.Fatalf("query %d: unexpected status %d", p, status)
+		}
+	}
+	t.Fatal("no pointer routed to the dead shard across the whole ID space")
+}
+
+// TestCoordinatorGenerationInvalidation hot-swaps a store-backed shard's
+// file and checks the coordinator's cache follows: the stale answer stops
+// being served once the generation watermark revalidates (bounded by
+// GenTTL), with no explicit invalidation call anywhere.
+func TestCoordinatorGenerationInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	ref1 := writeStorePes(t, dir, "app", testPM(60, 80, 20, 400))
+
+	st := store.New(store.Options{})
+	defer st.Close()
+	if _, err := st.AddDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Store: st})
+	shardTS := httptest.NewServer(s.Handler())
+	defer shardTS.Close()
+	coord, err := NewCoordinator(CoordOptions{
+		Shards: []string{shardTS.URL},
+		GenTTL: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+
+	ask := func() (string, string) {
+		t.Helper()
+		body, err := json.Marshal(batchRequest{Backend: "app", Queries: []Query{{Op: "aliases", P: intp(3)}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, raw := postRawBody(t, cts.URL+"/batch", body)
+		if status != http.StatusOK {
+			t.Fatalf("status %d: %s", status, raw)
+		}
+		var br BatchResponse
+		if err := json.Unmarshal(raw, &br); err != nil {
+			t.Fatal(err)
+		}
+		return string(br.Results[0].IDs), br.Generation
+	}
+
+	want1 := directIDs(t, ref1.ListAliases(3))
+	got, gen1 := ask()
+	if got != want1 {
+		t.Fatalf("pre-swap answer %s, want %s", got, want1)
+	}
+	if gen1 == "" {
+		t.Fatal("store-backed answer carries no generation tag")
+	}
+	// Cached now; a repeat must hit.
+	if got, _ := ask(); got != want1 {
+		t.Fatalf("cached answer %s", got)
+	}
+	if coord.Stats().Cache.Hits == 0 {
+		t.Fatal("repeat did not hit the cache")
+	}
+
+	ref2 := writeStorePes(t, dir, "app", testPM(61, 90, 22, 500))
+	if err := st.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	want2 := directIDs(t, ref2.ListAliases(3))
+	if want2 == want1 {
+		t.Fatal("test matrices produced the same answer; pick different seeds")
+	}
+	// The fully-cached stream must converge to the new generation within
+	// the GenTTL revalidation window — polling is the point of the test.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, gen := ask()
+		if got == want2 {
+			if gen == gen1 {
+				t.Fatalf("new answer under old generation tag %q", gen)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cache never invalidated: still %s, want %s", got, want2)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestCoordinatorBackendsProxy checks /backends passes the shard catalog
+// through and /debug/coord reports every shard.
+func TestCoordinatorBackendsProxy(t *testing.T) {
+	ix := testIndex(t, testPM(5, 50, 12, 200))
+	_, coordTS, _ := startTestTier(t, 2, map[string]*core.Index{"default": ix}, CoordOptions{})
+	resp, err := http.Get(coordTS.URL + "/backends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("backends status %d", resp.StatusCode)
+	}
+	var infos map[string][]BackendInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if bs := infos["backends"]; len(bs) != 1 || bs[0].Name != "default" {
+		t.Fatalf("backends = %+v", infos)
+	}
+	cresp, err := http.Get(coordTS.URL + "/debug/coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cresp.Body.Close()
+	var cs CoordStats
+	if err := json.NewDecoder(cresp.Body).Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Shards) != 2 {
+		t.Fatalf("coord stats shards = %+v", cs.Shards)
+	}
+}
+
+// TestCoordinatorRejectsEmptyTier pins the constructor contract.
+func TestCoordinatorRejectsEmptyTier(t *testing.T) {
+	if _, err := NewCoordinator(CoordOptions{}); err == nil {
+		t.Fatal("NewCoordinator with no shards succeeded")
+	}
+}

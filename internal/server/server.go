@@ -101,6 +101,7 @@ type Server struct {
 type backend struct {
 	name string
 	ix   *core.Index // static index; nil for store-resolved backends
+	tag  string      // version tag of the static index; "" for store shells
 	// stats has one entry per op plus "batch"; fixed at registration so
 	// the hot path is atomics only.
 	stats map[string]*opStats
@@ -114,10 +115,20 @@ func newBackend(name string, ix *core.Index) *backend {
 	return b
 }
 
+// staticTag is the version tag of an eagerly-registered index. Static
+// indexes never change within a process, so the tag only needs to be
+// deterministic across processes serving the same file — the structural
+// dimensions are a cheap content signature for that (a coordinator caching
+// on it compares tags from different shard processes).
+func staticTag(ix *core.Index) string {
+	return fmt.Sprintf("s:%d.%d.%d.%d", ix.NumPointers, ix.NumObjects, ix.NumGroups, ix.Rectangles())
+}
+
 type opStats struct {
-	count  atomic.Int64
-	errors atomic.Int64
-	lat    perf.Histogram
+	count    atomic.Int64
+	errors   atomic.Int64
+	canceled atomic.Int64 // batch queries returned unanswered (timeout truncation)
+	lat      perf.Histogram
 }
 
 // New returns an empty Server; register indexes with AddIndex.
@@ -146,9 +157,12 @@ func (s *Server) AddIndex(name string, ix *core.Index) error {
 		// A stats-only shell created for a store backend of the same
 		// name: adopt it so its counters survive, static index wins.
 		b.ix = ix
+		b.tag = staticTag(ix)
 		return nil
 	}
-	s.backends[name] = newBackend(name, ix)
+	b := newBackend(name, ix)
+	b.tag = staticTag(ix)
+	s.backends[name] = b
 	return nil
 }
 
@@ -194,33 +208,38 @@ func (s *Server) statsFor(name string) *backend {
 	return b
 }
 
-// resolve maps a request's backend name to an index ready to query. The
-// empty name is allowed when exactly one backend is resolvable. For
-// store-resolved backends the returned release func unpins the decoded
-// generation and must be called when the request is done; it is nil for
-// static backends.
-func (s *Server) resolve(ctx context.Context, name string) (*backend, delta.Index, func(), error) {
+// resolve maps a request's backend name to an index ready to query, plus
+// the version tag identifying the content the answers correspond to (the
+// cache-key generation a coordinator needs). The empty name is allowed
+// when exactly one backend is resolvable. For store-resolved backends the
+// returned release func unpins the decoded generation and must be called
+// when the request is done; it is nil for static backends.
+func (s *Server) resolve(ctx context.Context, name string) (*backend, delta.Index, string, func(), error) {
 	if name == "" {
 		names := s.names()
 		if len(names) != 1 {
-			return nil, nil, nil, fmt.Errorf("server: %d backends loaded, request must name one", len(names))
+			return nil, nil, "", nil, fmt.Errorf("server: %d backends loaded, request must name one", len(names))
 		}
 		name = names[0]
 	}
 	s.mu.RLock()
 	b, ok := s.backends[name]
+	tag := ""
+	if ok {
+		tag = b.tag
+	}
 	s.mu.RUnlock()
 	if ok && b.ix != nil {
-		return b, b.ix, nil, nil
+		return b, b.ix, tag, nil, nil
 	}
 	if s.opts.Store == nil {
-		return nil, nil, nil, fmt.Errorf("server: unknown backend %q", name)
+		return nil, nil, "", nil, fmt.Errorf("server: unknown backend %q", name)
 	}
 	h, err := s.opts.Store.Acquire(ctx, name)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, "", nil, err
 	}
-	return s.statsFor(name), h.Index(), h.Release, nil
+	return s.statsFor(name), h.Index(), h.VersionTag(), h.Release, nil
 }
 
 // Query is one Table-1 query. ID fields are pointers so "absent" and "0"
@@ -247,6 +266,10 @@ type Result struct {
 // decoded base, or a delta-chain snapshot whose answers are frozen at
 // that generation's stamp.
 func (b *backend) exec(ix delta.Index, q Query) Result {
+	// Start the clock before validation: error responses cost real time
+	// too, and a histogram that only sees successes reports flattering
+	// latencies the moment clients start sending malformed queries.
+	start := time.Now()
 	st, ok := b.stats[q.Op]
 	if !ok {
 		return Result{Err: fmt.Sprintf("unknown op %q", q.Op)}
@@ -260,7 +283,6 @@ func (b *backend) exec(ix delta.Index, q Query) Result {
 		}
 		return *v, nil
 	}
-	start := time.Now()
 	var res Result
 	var err error
 	switch q.Op {
@@ -290,6 +312,7 @@ func (b *backend) exec(ix delta.Index, q Query) Result {
 	}
 	if err != nil {
 		st.errors.Add(1)
+		st.lat.Observe(time.Since(start))
 		return Result{Err: err.Error()}
 	}
 	st.count.Add(1)
@@ -307,9 +330,12 @@ func marshalIDs(ids []int) (json.RawMessage, error) {
 	return json.RawMessage(raw), nil
 }
 
-// runBatch answers queries with the worker pool, preserving order.
-// It stops early when ctx is done and reports what was left unanswered.
-func (s *Server) runBatch(ctx context.Context, b *backend, ix delta.Index, queries []Query) ([]Result, error) {
+// runBatch answers queries with the worker pool, preserving order. It
+// stops feeding new queries when ctx is done; every query left unanswered
+// gets an explicit per-result error — a zero-value Result would read as a
+// legitimate empty answer, silently truncating the batch — and the count
+// of those is returned so callers can surface and meter the truncation.
+func (s *Server) runBatch(ctx context.Context, b *backend, ix delta.Index, queries []Query) ([]Result, int) {
 	results := make([]Result, len(queries))
 	workers := s.opts.BatchWorkers
 	if workers > len(queries) {
@@ -326,20 +352,26 @@ func (s *Server) runBatch(ctx context.Context, b *backend, ix delta.Index, queri
 			}
 		}()
 	}
-	var err error
+	unanswered := 0
 feed:
 	for i := range queries {
 		select {
 		case next <- i:
 		case <-ctx.Done():
-			err = fmt.Errorf("server: batch timed out after %d/%d queries: %w",
+			// Queries i.. were never handed to a worker; the marked tail
+			// is disjoint from the indices workers write, so no race.
+			msg := fmt.Sprintf("server: unanswered, batch canceled after %d/%d queries: %v",
 				i, len(queries), ctx.Err())
+			for j := i; j < len(queries); j++ {
+				results[j] = Result{Err: msg}
+			}
+			unanswered = len(queries) - i
 			break feed
 		}
 	}
 	close(next)
 	wg.Wait()
-	return results, err
+	return results, unanswered
 }
 
 // Handler returns the HTTP handler for the service.
@@ -348,6 +380,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("GET /backends", s.handleBackends)
+	mux.HandleFunc("GET /generations", s.handleGenerations)
 	mux.HandleFunc("GET /debug/stats", s.handleStats)
 	mux.HandleFunc("GET /debug/store", s.handleStore)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -395,7 +428,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	b, ix, release, err := s.resolve(r.Context(), req.Backend)
+	b, ix, _, release, err := s.resolve(r.Context(), req.Backend)
 	if err != nil {
 		writeError(w, resolveStatus(err), err)
 		return
@@ -427,9 +460,18 @@ type batchRequest struct {
 	Queries []Query `json:"queries"`
 }
 
-// BatchResponse is the reply to POST /batch.
+// BatchResponse is the reply to POST /batch, from a single server or a
+// coordinator. Generation is the version tag of the content the answers
+// correspond to (a coordinator omits it when its shards disagree);
+// Unanswered counts queries a timed-out batch returned with per-result
+// errors instead of answers; Partial names the shards a coordinator could
+// not reach. Field order matters: a healthy coordinator reply must be
+// byte-identical to a single-process one.
 type BatchResponse struct {
-	Results []Result `json:"results"`
+	Results    []Result     `json:"results"`
+	Generation string       `json:"generation,omitempty"`
+	Unanswered int          `json:"unanswered,omitempty"`
+	Partial    []ShardError `json:"partial,omitempty"`
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -443,7 +485,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("server: batch of %d exceeds limit %d", len(req.Queries), s.opts.MaxBatch))
 		return
 	}
-	b, ix, release, err := s.resolve(r.Context(), req.Backend)
+	b, ix, tag, release, err := s.resolve(r.Context(), req.Backend)
 	if err != nil {
 		writeError(w, resolveStatus(err), err)
 		return
@@ -452,15 +494,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		defer release()
 	}
 	start := time.Now()
-	results, err := s.runBatch(r.Context(), b, ix, req.Queries)
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	}
+	results, unanswered := s.runBatch(r.Context(), b, ix, req.Queries)
 	st := b.stats["batch"]
 	st.count.Add(1)
 	st.lat.Observe(time.Since(start))
-	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+	if unanswered > 0 {
+		// A truncated batch still returns what it computed: the answered
+		// prefix is valid work, and the tail is explicitly marked. The
+		// canceled counter is the monitoring signal that deadlines are
+		// eating batches.
+		st.canceled.Add(int64(unanswered))
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results, Generation: tag, Unanswered: unanswered})
 }
 
 // BackendInfo describes one catalogued index. Store-resolved backends
@@ -542,11 +587,44 @@ func sortBackends(bs []BackendInfo) {
 	}
 }
 
+// GenerationsResponse is the GET /generations payload: the version tag of
+// every backend that can answer without loading anything — static indexes
+// plus loaded store entries. A coordinator polls this to revalidate its
+// cache watermarks without paying a query.
+type GenerationsResponse struct {
+	Generations map[string]string `json:"generations"`
+}
+
+func (s *Server) handleGenerations(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, GenerationsResponse{Generations: s.Generations()})
+}
+
+// Generations reports the version tag of every static backend and every
+// loaded store entry. Unloaded store entries are omitted rather than
+// loaded: minting a tag must never cost a decode.
+func (s *Server) Generations() map[string]string {
+	out := make(map[string]string)
+	if s.opts.Store != nil {
+		for name, tag := range s.opts.Store.VersionTags() {
+			out[name] = tag
+		}
+	}
+	s.mu.RLock()
+	for name, b := range s.backends {
+		if b.ix != nil {
+			out[name] = b.tag // static shadows the store entry, as resolve does
+		}
+	}
+	s.mu.RUnlock()
+	return out
+}
+
 // OpStats is the monitoring snapshot for one (backend, op) pair.
 type OpStats struct {
-	Count   int64                  `json:"count"`
-	Errors  int64                  `json:"errors"`
-	Latency perf.HistogramSnapshot `json:"latency"`
+	Count    int64                  `json:"count"`
+	Errors   int64                  `json:"errors"`
+	Canceled int64                  `json:"canceled,omitempty"`
+	Latency  perf.HistogramSnapshot `json:"latency"`
 }
 
 // Stats is the /debug/stats payload.
@@ -571,9 +649,10 @@ func (s *Server) Stats() Stats {
 		ops := make(map[string]OpStats, len(b.stats))
 		for op, st := range b.stats {
 			ops[op] = OpStats{
-				Count:   st.count.Load(),
-				Errors:  st.errors.Load(),
-				Latency: st.lat.Snapshot(),
+				Count:    st.count.Load(),
+				Errors:   st.errors.Load(),
+				Canceled: st.canceled.Load(),
+				Latency:  st.lat.Snapshot(),
 			}
 		}
 		out.Backends[name] = ops

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -279,16 +280,107 @@ func TestRequestErrors(t *testing.T) {
 	}
 }
 
+// TestBatchTimeout pins the truncation contract: a batch cut off by the
+// request deadline still answers 200, every unfed query carries an
+// explicit per-result error (never a silent zero-value Result), the count
+// is surfaced in Unanswered, and the canceled opStats counter moves.
 func TestBatchTimeout(t *testing.T) {
-	_, _, ts := newTestServer(t, Options{RequestTimeout: time.Nanosecond})
+	s, _, ts := newTestServer(t, Options{RequestTimeout: time.Nanosecond})
 	queries := make([]Query, 100)
 	for i := range queries {
 		queries[i] = Query{Op: "aliases", P: intp(i)}
 	}
 	resp, body := postJSON(t, ts.URL+"/batch", batchRequest{Queries: queries})
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("status %d, want 503 (%s)", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (%s)", resp.StatusCode, body)
 	}
+	var br BatchResponse
+	if err := json.Unmarshal([]byte(body), &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != len(queries) {
+		t.Fatalf("got %d results, want %d", len(br.Results), len(queries))
+	}
+	if br.Unanswered == 0 {
+		t.Fatalf("a 1ns deadline answered all %d queries; Unanswered = 0", len(queries))
+	}
+	marked := 0
+	for _, r := range br.Results {
+		if strings.Contains(r.Err, "unanswered") {
+			marked++
+			if r.IDs != nil || r.Alias != nil {
+				t.Fatalf("unanswered result carries data: %+v", r)
+			}
+		}
+	}
+	if marked != br.Unanswered {
+		t.Fatalf("%d results marked unanswered, Unanswered says %d", marked, br.Unanswered)
+	}
+	st := s.Stats()
+	if got := st.Backends["default"]["batch"].Canceled; got != int64(br.Unanswered) {
+		t.Fatalf("batch canceled counter = %d, want %d", got, br.Unanswered)
+	}
+}
+
+// TestBatchCancelMarksUnanswered drives runBatch directly with contexts
+// canceled before and during the batch: the regression here was unfed
+// tail queries silently coming back as zero-value Results. Every result
+// must be answered or explicitly marked, the marks must be a contiguous
+// tail, and the count must match the reported unanswered total.
+func TestBatchCancelMarksUnanswered(t *testing.T) {
+	s, _, _ := newTestServer(t, Options{BatchWorkers: 2})
+	b, ix, _, release, err := s.resolve(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if release != nil {
+		defer release()
+	}
+	queries := make([]Query, 4000)
+	for i := range queries {
+		queries[i] = Query{Op: "aliases", P: intp(i % 100)}
+	}
+
+	check := func(results []Result, unanswered int) {
+		t.Helper()
+		if len(results) != len(queries) {
+			t.Fatalf("got %d results, want %d", len(results), len(queries))
+		}
+		firstMarked := len(results)
+		for i, r := range results {
+			isMarked := strings.Contains(r.Err, "unanswered")
+			if isMarked && i < firstMarked {
+				firstMarked = i
+			}
+			if !isMarked && i > firstMarked {
+				t.Fatalf("answered result %d after marked result %d: tail is not contiguous", i, firstMarked)
+			}
+			if r.Alias == nil && r.IDs == nil && r.Err == "" {
+				t.Fatalf("result %d is a silent zero value", i)
+			}
+		}
+		if got := len(results) - firstMarked; got != unanswered {
+			t.Fatalf("%d results marked, runBatch reported %d", got, unanswered)
+		}
+	}
+
+	// Pre-canceled: nothing may be fed, everything marked.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, unanswered := s.runBatch(ctx, b, ix, queries)
+	check(results, unanswered)
+	if unanswered != len(queries) {
+		t.Fatalf("pre-canceled batch answered %d queries", len(queries)-unanswered)
+	}
+
+	// Canceled mid-flight: whatever the interleaving, the invariants hold.
+	ctx, cancel = context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(200 * time.Microsecond)
+		cancel()
+	}()
+	results, unanswered = s.runBatch(ctx, b, ix, queries)
+	check(results, unanswered)
 }
 
 func TestStatsAndBackends(t *testing.T) {
@@ -316,6 +408,16 @@ func TestStatsAndBackends(t *testing.T) {
 	}
 	if ops["pointsto"].Errors != 1 {
 		t.Fatalf("pointsto errors = %d, want 1", ops["pointsto"].Errors)
+	}
+	// Error responses cost latency too: the histogram must observe both
+	// paths, so its count always equals successes plus errors. (The
+	// regression was errors skipping lat.Observe, skewing the histogram
+	// toward flattering numbers under malformed load.)
+	for op, o := range ops {
+		if o.Latency.Count != o.Count+o.Errors {
+			t.Fatalf("%s latency count %d != count %d + errors %d",
+				op, o.Latency.Count, o.Count, o.Errors)
+		}
 	}
 
 	bs := s.Backends()

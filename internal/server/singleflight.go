@@ -1,0 +1,65 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flight is one in-progress computation of a query answer. The owner
+// stores res/gen and then closes done (the close publishes the writes), so
+// every waiter observes one consistent outcome — the same discipline as
+// the store's load singleflight, applied to answers instead of decodes.
+type flight struct {
+	done chan struct{}
+	res  Result
+	gen  string // version tag the answer was computed at; "" on failure
+}
+
+// flightGroup deduplicates concurrent identical queries across requests:
+// while one request is fetching a key from a shard, every other request
+// wanting the same key parks on the flight instead of fanning out its own
+// copy. Entries are removed on finish, so the map only ever holds keys
+// with work actually in progress.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+
+	// waits counts queries answered by joining someone else's flight —
+	// the second deduplication level (the first is intra-batch collapse,
+	// the third the answer cache).
+	waits atomic.Int64
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// begin returns the flight for key and whether the caller owns it. The
+// owner must eventually call finish exactly once; everyone else waits on
+// f.done.
+func (g *flightGroup) begin(key string) (f *flight, owner bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// finish resolves an owned flight with its result and retires the key.
+// Failures resolve too — waiters get the error result rather than
+// retrying the same broken shard themselves.
+func (g *flightGroup) finish(key string, f *flight, res Result, gen string) {
+	f.res = res
+	f.gen = gen
+	close(f.done)
+	g.mu.Lock()
+	// Only delete our own flight: a slow finish must not evict a newer
+	// flight another request already started under the same key.
+	if g.m[key] == f {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+}

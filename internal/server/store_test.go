@@ -3,10 +3,12 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"pestrie/internal/core"
@@ -336,5 +338,78 @@ func TestStoreServesMappedV2Backend(t *testing.T) {
 	}
 	if be.Bytes != int64(buf.Len()) {
 		t.Fatalf("mapped backend charged %d bytes, want file size %d", be.Bytes, buf.Len())
+	}
+}
+
+// TestResolveConcurrentRegistration hammers the lazily-registered statsFor
+// path: store-backed queries (whose backend shells are created on first
+// touch), concurrent AddIndex of new static backends, store eviction
+// churn, and stats readers, all at once. The assertions are modest — the
+// point is the interleavings, which the -race CI step checks.
+func TestResolveConcurrentRegistration(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 4; i++ {
+		writeStorePes(t, dir, fmt.Sprintf("app%d", i), testPM(int64(70+i), 60, 15, 250))
+	}
+	// A tight budget forces Acquire/evict churn while requests hold pins.
+	st := store.New(store.Options{MemBudget: 1 << 15})
+	defer st.Close()
+	if _, err := st.AddDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Store: st})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	extra := testIndex(t, testPM(99, 40, 10, 150))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				name := fmt.Sprintf("app%d", (w+i)%4)
+				resp, body := postJSON(t, ts.URL+"/query", queryRequest{
+					Backend: name,
+					Query:   Query{Op: "aliases", P: intp(i % 60)},
+				})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("query %s: status %d: %s", name, resp.StatusCode, body)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := s.AddIndex(fmt.Sprintf("static%d", i), extra); err != nil {
+				t.Errorf("AddIndex: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			s.Stats()
+			s.Backends()
+			s.Generations()
+		}
+	}()
+	wg.Wait()
+
+	st2 := s.Stats()
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("app%d", i)
+		ops, ok := st2.Backends[name]
+		if !ok || ops["aliases"].Count == 0 {
+			t.Fatalf("store backend %s has no recorded queries: %+v", name, ops)
+		}
+	}
+	if len(s.Backends()) != 4+20 {
+		t.Fatalf("got %d backends, want 24", len(s.Backends()))
 	}
 }

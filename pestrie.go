@@ -306,6 +306,24 @@ type QueryServerOptions = server.Options
 // gracefully.
 func NewQueryServer(opts QueryServerOptions) *QueryServer { return server.New(opts) }
 
+// Coordinator fronts a tier of query-server shards: it hash-partitions
+// the pointer-ID space across them, fans batches out over persistent
+// connections with per-shard timeouts and partial-failure reporting, and
+// deduplicates repeated queries through an answer cache (keyed on backend
+// generation, so hot swaps invalidate naturally) plus singleflight.
+// Healthy answers are byte-identical to a single-process QueryServer at
+// the same generation.
+type Coordinator = server.Coordinator
+
+// CoordinatorOptions name the shard URLs and tune timeouts, the answer
+// cache budget, and generation revalidation.
+type CoordinatorOptions = server.CoordOptions
+
+// NewCoordinator returns a coordinator over the given shard tier.
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
+	return server.NewCoordinator(opts)
+}
+
 // --- managed index store (cmd/pestrie serve -store-dir) -----------------
 
 // Store is the managed, memory-budgeted index store: a catalog of backend
